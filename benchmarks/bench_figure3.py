@@ -1,0 +1,31 @@
+"""Figure 3 — total miss rates split into false-sharing and other
+misses, unoptimized vs compiler-transformed, at 16- and 128-byte blocks
+(12 processors; Topopt 9)."""
+
+from conftest import emit
+
+from repro.harness import figure3, render_figure3
+
+
+def test_figure3(benchmark, lab):
+    result = benchmark.pedantic(
+        lambda: figure3(lab=lab), rounds=1, iterations=1
+    )
+    emit("Figure 3 (miss rates, N vs C)", render_figure3(result))
+
+    for row in result.rows:
+        n128 = row.cells[(128, "N")]
+        c128 = row.cells[(128, "C")]
+        # the compiler reduces false sharing for every program
+        assert c128.fs_rate < n128.fs_rate, row.program
+        # false sharing is greater with larger block sizes (N version)
+        n16 = row.cells[(16, "N")]
+        assert n128.fs_rate >= 0.5 * n16.fs_rate, row.program
+
+    # Fmm/Pverify/Radiosity are the >90% reducers; all programs improve
+    strong = {"Fmm", "Pverify", "Radiosity"}
+    for row in result.rows:
+        n, c = row.cells[(128, "N")], row.cells[(128, "C")]
+        reduction = 1 - c.fs_rate / n.fs_rate if n.fs_rate else 0.0
+        if row.program in strong:
+            assert reduction > 0.8, (row.program, reduction)

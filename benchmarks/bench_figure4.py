@@ -1,0 +1,36 @@
+"""Figure 4 — speedup vs processor count for the three representative
+programs (Raytrace: compiler ≈ programmer; Fmm: programmer ≈ nothing;
+Pverify: in between)."""
+
+from conftest import emit
+
+from repro.harness import DEFAULT_SWEEP, figure4, render_scalability
+
+
+def test_figure4(benchmark, lab):
+    results = benchmark.pedantic(
+        lambda: figure4(proc_counts=DEFAULT_SWEEP, lab=lab),
+        rounds=1,
+        iterations=1,
+    )
+    for sc in results:
+        emit(f"Figure 4 — {sc.program}", render_scalability(sc))
+
+    by_name = {sc.program: sc for sc in results}
+
+    # Pverify: compiler well above both N and programmer
+    pv = by_name["Pverify"].curves
+    assert pv["C"].max_speedup > 1.5 * pv["N"].max_speedup
+    assert pv["C"].max_speedup > 1.5 * pv["P"].max_speedup
+
+    # Fmm: programmer efforts brought little gain (P tracks N), while
+    # the compiler version keeps scaling
+    fmm = by_name["Fmm"].curves
+    assert abs(fmm["P"].max_speedup - fmm["N"].max_speedup) < 0.2 * fmm["N"].max_speedup
+    assert fmm["C"].max_speedup > 1.3 * fmm["N"].max_speedup
+    assert fmm["C"].max_at >= fmm["N"].max_at
+
+    # Raytrace: compiler and programmer comparable, both above N
+    rt = by_name["Raytrace"].curves
+    assert rt["C"].max_speedup >= rt["P"].max_speedup * 0.9
+    assert rt["C"].max_speedup >= rt["N"].max_speedup

@@ -1,0 +1,21 @@
+"""Section-5 headline statistics: at 128-byte blocks ~70% of misses are
+false sharing; the transformations eliminate ~80% of them while raising
+other misses ~19%; total misses roughly halve (49% at 64 bytes)."""
+
+from conftest import emit
+
+from repro.harness import headline, render_headline
+
+
+def test_headline(benchmark, lab):
+    stats = benchmark.pedantic(
+        lambda: headline(lab=lab), rounds=1, iterations=1
+    )
+    emit("Section 5 headline statistics", render_headline(stats))
+
+    # shape targets (bands around the paper's aggregates)
+    assert 0.5 <= stats.fs_fraction_of_misses <= 0.95
+    assert 0.6 <= stats.fs_eliminated <= 1.0
+    assert stats.other_miss_increase > 0.0  # transformations do cost misses
+    assert 0.3 <= stats.total_miss_reduction_128 <= 0.85
+    assert 0.3 <= stats.total_miss_reduction_64 <= 0.85

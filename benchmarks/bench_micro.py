@@ -1,0 +1,66 @@
+"""Micro-benchmarks of the toolchain components: frontend, analysis,
+interpreter and coherence simulator throughput."""
+
+import numpy as np
+
+from repro.analysis import analyze_program
+from repro.lang import compile_source, parse
+from repro.layout import DataLayout
+from repro.runtime import run_program
+from repro.runtime.trace import Trace
+from repro.sim import CacheConfig, simulate_trace
+from repro.transform import decide_transformations
+from repro.workloads import RAYTRACE, WATER
+
+
+def test_parse_throughput(benchmark):
+    src = WATER.source
+    prog = benchmark(parse, src)
+    assert prog.func("main") is not None
+
+
+def test_compile_and_check(benchmark):
+    checked = benchmark(compile_source, RAYTRACE.source)
+    assert checked.worker_names
+
+
+def test_full_analysis(benchmark):
+    checked = compile_source(WATER.source)
+    pa = benchmark(analyze_program, checked, 8)
+    assert pa.patterns
+
+
+def test_decision_heuristics(benchmark):
+    checked = compile_source(WATER.source)
+    pa = analyze_program(checked, 8)
+    plan = benchmark(decide_transformations, pa)
+    assert not plan.is_empty
+
+
+def test_interpreter_throughput(benchmark):
+    checked = compile_source(WATER.source)
+    layout = DataLayout(checked, nprocs=4)
+
+    def go():
+        return run_program(checked, layout, 4)
+
+    run = benchmark.pedantic(go, rounds=2, iterations=1)
+    assert len(run.trace) > 1000
+
+
+def test_coherence_sim_throughput(benchmark):
+    rng = np.random.default_rng(7)
+    n = 60_000
+    trace = Trace(
+        proc=rng.integers(0, 8, n).astype(np.int32),
+        addr=(rng.integers(0, 4096, n) * 4).astype(np.int64),
+        size=np.full(n, 4, dtype=np.int32),
+        is_write=rng.random(n) < 0.4,
+    )
+    cfg = CacheConfig(size=32 * 1024, block_size=128, assoc=4)
+
+    def go():
+        return simulate_trace(trace, 8, cfg)
+
+    res = benchmark.pedantic(go, rounds=2, iterations=1)
+    assert res.refs >= n

@@ -1,0 +1,81 @@
+"""Section 6 comparisons: static analysis vs the profile-guided
+transformations of Torrellas et al. [TLH94] and the word-granularity
+invalidation hardware of Dubois et al. [DSR+93].
+
+The paper: TLH94 "reduced the number of shared misses by 10% and 13%"
+(64-byte blocks) where "our transformations reduced the total miss rate
+by an average of 49%"; DSR+93's word invalidation "totally eliminated"
+false-sharing misses at the cost of increased traffic and hardware.
+"""
+
+from conftest import emit
+
+from repro.sim import simulate_run
+from repro.transform.profile_guided import profile_guided_plan
+from repro.workloads import SIMULATION_WORKLOADS
+
+BLOCK = 64  # the block size of the paper's TLH94 comparison
+
+
+def test_related_work(benchmark, lab):
+    def study():
+        rows = []
+        for wl in SIMULATION_WORKLOADS:
+            nprocs = wl.fig3_procs
+            pipe = lab.pipeline(wl)
+            vn = lab.run(wl, "N", nprocs)
+            vc = lab.run(wl, "C", nprocs)
+            tplan = profile_guided_plan(vn.run, vn.layout, block_size=BLOCK)
+            vt = pipe.run_with_plan(nprocs, tplan, "TLH94")
+            sn = vn.simulate(BLOCK)
+            sc = vc.simulate(BLOCK)
+            st = vt.simulate(BLOCK)
+            sw = simulate_run(vn.run, BLOCK, word_invalidate=True)
+            rows.append(
+                {
+                    "program": wl.name,
+                    "n_total": sn.total_misses,
+                    "n_fs": sn.misses.false_sharing,
+                    "c_total": sc.total_misses,
+                    "c_fs": sc.misses.false_sharing,
+                    "t_total": st.total_misses,
+                    "t_fs": st.misses.false_sharing,
+                    "w_total": sw.total_misses,
+                    "w_fs": sw.misses.false_sharing,
+                    "w_inval": sw.invalidations,
+                    "n_inval": sn.invalidations,
+                }
+            )
+        return rows
+
+    rows = benchmark.pedantic(study, rounds=1, iterations=1)
+
+    lines = [
+        f"{'Program':<12} {'N misses':>9} {'compiler':>9} {'TLH94':>9} "
+        f"{'word-inv':>9}   (false-sharing misses in parens)"
+    ]
+    for r in rows:
+        lines.append(
+            f"{r['program']:<12} {r['n_total']:>9} "
+            f"{r['c_total']:>5}({r['c_fs']:>4}) "
+            f"{r['t_total']:>5}({r['t_fs']:>4}) "
+            f"{r['w_total']:>5}({r['w_fs']:>4})"
+        )
+    c_red = [1 - r["c_total"] / r["n_total"] for r in rows]
+    t_red = [1 - r["t_total"] / r["n_total"] for r in rows]
+    lines.append(
+        f"average total-miss reduction: compiler "
+        f"{100 * sum(c_red) / len(c_red):.1f}%  profile-guided "
+        f"{100 * sum(t_red) / len(t_red):.1f}%  (paper: 49% vs 10-13%)"
+    )
+    emit("Section 6 — related-work comparison at 64-byte blocks",
+         "\n".join(lines))
+
+    # the compiler reduces total misses more than the profile-guided
+    # pad-only baseline, on average (the paper's section-6 argument)
+    assert sum(c_red) > sum(t_red)
+    # word invalidation eliminates false sharing entirely [DSR+93]
+    for r in rows:
+        assert r["w_fs"] == 0, r["program"]
+    # ... at the price of more invalidation traffic on some programs
+    assert any(r["w_inval"] > r["n_inval"] for r in rows)

@@ -1,0 +1,11 @@
+"""Table 1 — the benchmark inventory."""
+
+from conftest import emit
+
+from repro.harness import render_table1, table1
+
+
+def test_table1(benchmark):
+    rows = benchmark(table1)
+    assert len(rows) == 10
+    emit("Table 1 (benchmarks used in our study)", render_table1(rows))

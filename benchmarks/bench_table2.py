@@ -1,0 +1,37 @@
+"""Table 2 — false-sharing reduction per program, attributed per
+transformation, averaged over 8-256 byte blocks."""
+
+from conftest import emit
+
+from repro.harness import render_table2, table2
+
+
+def test_table2(benchmark, lab):
+    result = benchmark.pedantic(
+        lambda: table2(lab=lab), rounds=1, iterations=1
+    )
+    emit("Table 2 (FS reduction by transformation)", render_table2(result))
+
+    # every program reduces false sharing substantially
+    for row in result.rows:
+        assert row.total_reduction > 40.0, (row.program, row.total_reduction)
+
+    # dominant transformations per the paper's Table 2
+    dominant = {
+        row.program: max(row.by_transform, key=row.by_transform.get)
+        for row in result.rows
+    }
+    assert dominant["Maxflow"] in ("pad_align", "locks")
+    assert dominant["Pverify"] == "indirection"
+    assert dominant["Topopt"] == "group_transpose"
+    assert dominant["Fmm"] == "group_transpose"
+    assert dominant["Radiosity"] == "group_transpose"
+    assert dominant["Raytrace"] == "group_transpose"
+
+    # Maxflow applies neither group&transpose nor indirection
+    mrow = result.row("Maxflow")
+    assert mrow.by_transform.get("group_transpose", 0.0) == 0.0
+    assert mrow.by_transform.get("indirection", 0.0) == 0.0
+
+    # the residual-FS programs reduce less than the clean ones
+    assert result.row("Maxflow").total_reduction < result.row("Fmm").total_reduction

@@ -1,0 +1,61 @@
+"""Table 3 — maximum speedups (and where they occur) for every program
+and version, on the KSR2 model — plus the section-5 execution-time
+improvement claim (2%-58% while the unoptimized version still scales)."""
+
+from conftest import emit
+
+from repro.harness import DEFAULT_SWEEP, improvements, render_table3, table3
+
+
+def test_table3(benchmark, lab):
+    rows = benchmark.pedantic(
+        lambda: table3(proc_counts=DEFAULT_SWEEP, lab=lab),
+        rounds=1,
+        iterations=1,
+    )
+    emit("Table 3 (maximum speedups)", render_table3(rows))
+
+    by_name = {r.program: r for r in rows}
+
+    # the compiler version achieves the best peak for every program
+    for row in rows:
+        c_peak = row.results["C"][0]
+        for version, (peak, _at) in row.results.items():
+            if version == "C":
+                continue
+            assert c_peak >= peak * 0.95, (row.program, version)
+
+    # headline orderings from the paper's Table 3
+    assert by_name["Water"].results["C"][0] > 1.7 * by_name["Water"].results["P"][0]
+    assert by_name["Mp3d"].results["C"][0] > 1.4 * by_name["Mp3d"].results["P"][0]
+    assert by_name["Pverify"].results["C"][0] > 1.5 * by_name["Pverify"].results["N"][0]
+    # Pthor barely scales no matter what (queue serialization)
+    assert by_name["Pthor"].results["C"][0] < 8.0
+    # Fmm's compiler version is the suite's best scaler
+    assert by_name["Fmm"].results["C"][0] == max(
+        r.results["C"][0] for r in rows
+    )
+
+
+def test_improvements_while_scaling(benchmark, lab):
+    imp = benchmark.pedantic(
+        lambda: improvements(proc_counts=DEFAULT_SWEEP, lab=lab),
+        rounds=1,
+        iterations=1,
+    )
+    lines = [
+        f"{r.program:<12} max C-over-N improvement "
+        f"{100 * r.max_improvement:5.1f}%  "
+        + " ".join(f"{p}:{100 * v:+.0f}%" for p, v in sorted(r.by_procs.items()))
+        for r in imp
+    ]
+    emit("Section 5 — execution-time improvement while N scales "
+         "(paper: 2%-58%)", "\n".join(lines))
+    # the compiler version improves execution time for every program
+    # somewhere in the unoptimized version's scaling range
+    for r in imp:
+        assert r.max_improvement > 0.0, r.program
+    # the strongest gains belong to the untuned programs (paper:
+    # Maxflow 50%, Pverify 58%)
+    best = max(imp, key=lambda r: r.max_improvement)
+    assert best.program in ("Pverify", "Maxflow")

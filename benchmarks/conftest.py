@@ -1,0 +1,31 @@
+"""Shared state for the experiment benchmarks.
+
+A single session-scoped :class:`~repro.harness.WorkloadLab` caches every
+(workload, version, processor-count) run, so the table/figure benches
+share traces instead of re-executing the interpreter.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.harness import WorkloadLab
+
+
+@pytest.fixture(scope="session")
+def lab() -> WorkloadLab:
+    return WorkloadLab()
+
+
+def emit(title: str, text: str) -> None:
+    """Print a regenerated table/figure and persist it under
+    benchmarks/results/ (pytest captures stdout of passing tests)."""
+    import pathlib
+    import re
+
+    bar = "=" * 78
+    print(f"\n{bar}\n{title}\n{bar}\n{text}\n", flush=True)
+    results = pathlib.Path(__file__).parent / "results"
+    results.mkdir(exist_ok=True)
+    slug = re.sub(r"[^a-z0-9]+", "_", title.lower()).strip("_")[:60]
+    (results / f"{slug}.txt").write_text(f"{title}\n{bar}\n{text}\n")

@@ -1,0 +1,87 @@
+#!/usr/bin/env python
+"""Anatomy of false sharing: block-size sweep and per-structure
+attribution.
+
+Shows the two results the paper's simulation section builds on:
+false-sharing misses grow with the coherence-unit size, and the miss
+attribution pinpoints exactly which data structure is responsible — the
+ground truth the static analysis is validated against.
+
+Run:  python examples/false_sharing_demo.py
+"""
+
+from repro import DataLayout, compile_source, run_program
+from repro.layout.regions import build_region_map
+from repro.sim import simulate_run, sweep_block_sizes, top_fs_structures
+
+NPROCS = 8
+
+SRC = """
+int hot[32];        // one word per process: the false-sharing victim
+int readonly[256];  // shared read-only table: harmless
+int migratory;      // a genuinely communicated scalar: true sharing
+
+void worker(int pid)
+{
+    int i;
+    int x;
+    x = 0;
+    for (i = 0; i < 300; i++) {
+        hot[pid] += readonly[(pid * 31 + i) % 256];
+        if (i % 50 == 0) {
+            migratory = migratory + 1;   // real communication
+        }
+    }
+}
+
+int main()
+{
+    int i;
+    int p;
+    for (i = 0; i < 256; i++) {
+        readonly[i] = rnd(i) % 5;
+    }
+    migratory = 0;
+    for (p = 0; p < nprocs(); p++) {
+        create(worker, p);
+    }
+    wait_for_end();
+    print(migratory);
+    return 0;
+}
+"""
+
+
+def main() -> None:
+    checked = compile_source(SRC)
+    layout = DataLayout(checked, nprocs=NPROCS, block_size=128)
+    run = run_program(checked, layout, NPROCS)
+
+    print("block-size sweep (the paper: 'False sharing is greater with "
+          "larger block sizes'):")
+    sweep = sweep_block_sizes(run, [4, 8, 16, 32, 64, 128, 256])
+    for bs in sweep.block_sizes:
+        r = sweep.results[bs]
+        frac = (
+            r.misses.false_sharing / r.total_misses if r.total_misses else 0
+        )
+        print(
+            f"  {bs:4d} B blocks: {r.total_misses:5d} misses, "
+            f"{r.misses.false_sharing:5d} false sharing ({100 * frac:4.1f}%), "
+            f"{r.misses.true_sharing:4d} true sharing"
+        )
+
+    print("\nper-structure attribution at 128 B (simulation ground truth):")
+    sim = simulate_run(run, 128)
+    regions = build_region_map(layout, run.heap_segments)
+    for s in top_fs_structures(sim, regions, 5):
+        print(
+            f"  {s.name:12s} false-sharing misses {s.false_sharing:5d} "
+            f"(of {s.total:5d} total)"
+        )
+    print("\n'hot' is the culprit; 'readonly' never misses after the first "
+          "touch; 'migratory' shows up as true sharing.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,61 @@
+#!/usr/bin/env python
+"""Case study: one SPLASH-style workload through the whole evaluation.
+
+Reproduces, for Pverify (the indirection-dominated benchmark), the three
+comparisons of the paper's section 5: the transformation plan, the
+Figure-3 style miss-rate comparison, and the three-version (N/C/P)
+scalability curve on the KSR2 model.
+
+Run:  python examples/workload_study.py            (takes ~1 minute)
+"""
+
+from repro.harness import WorkloadLab, render_scalability, scalability
+from repro.sim import top_fs_structures
+from repro.workloads import PVERIFY
+
+PROCS = (1, 2, 4, 8, 16)
+
+
+def main() -> None:
+    wl = PVERIFY
+    lab = WorkloadLab()
+    pipe = lab.pipeline(wl)
+
+    print(f"== {wl.name}: {wl.description} "
+          f"({wl.paper_lines} lines of C in the original)")
+    plan = pipe.compiler_plan(wl.fig3_procs)
+    print(plan.describe())
+    print()
+
+    # --- Figure-3 style miss rates at 12 processors ------------------------
+    vn = lab.run(wl, "N", wl.fig3_procs)
+    vc = lab.run(wl, "C", wl.fig3_procs)
+    for label, vr in (("N", vn), ("C", vc)):
+        sim = vr.simulate(128)
+        print(
+            f"  version {label}: miss rate {100 * sim.miss_rate:5.2f}%, "
+            f"false sharing {sim.misses.false_sharing:5d} "
+            f"(paper total reduction for {wl.name}: "
+            f"{wl.paper_fs_reduction}%)"
+        )
+    print("\n  top falsely-shared structures (N version):")
+    sn = vn.simulate(128)
+    for s in top_fs_structures(sn, vn.regions(), 3):
+        print(f"    {s.name:24s} {s.false_sharing:5d} FS misses")
+    print()
+
+    # --- three-version scalability -----------------------------------------
+    sc = scalability(wl, PROCS, lab)
+    print(render_scalability(sc))
+    print()
+    for version, curve in sc.curves.items():
+        paper = wl.paper_max_speedup.get(version)
+        paper_txt = f"(paper {paper[0]} at {paper[1]})" if paper else ""
+        print(
+            f"  {version}: max speedup {curve.max_speedup:.1f} "
+            f"at {curve.max_at} processors {paper_txt}"
+        )
+
+
+if __name__ == "__main__":
+    main()

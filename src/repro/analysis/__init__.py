@@ -1,0 +1,68 @@
+"""The paper's compile-time analyses.
+
+* :mod:`repro.analysis.pdv` — process differentiating variable detection
+  and invariant propagation,
+* :mod:`repro.analysis.perprocess` — stage 1, per-process control flow,
+* :mod:`repro.analysis.nonconcurrency` — stage 2, barrier phases,
+* :mod:`repro.analysis.sideeffects` — stage 3, summary side effects with
+  bounded regular section descriptors,
+* :mod:`repro.analysis.profiling` — static execution-frequency estimates,
+* :mod:`repro.analysis.summary` — aggregation into per-structure sharing
+  patterns and the :func:`analyze_program` driver.
+"""
+
+from repro.analysis.loops import DEFAULT_TRIPS, LoopInfo, analyze_loop
+from repro.analysis.nonconcurrency import PhaseInfo, analyze_phases
+from repro.analysis.pdv import PDVInfo, detect_pdvs
+from repro.analysis.perprocess import (
+    MAIN_PROC,
+    ProcSetResult,
+    branch_split,
+    compute_proc_sets,
+    eval_cond_for_pid,
+)
+from repro.analysis.profiling import StaticProfile, compute_profile
+from repro.analysis.sideeffects import (
+    FINI_PHASE,
+    INIT_PHASE,
+    AccessEntry,
+    SideEffects,
+    Target,
+    analyze_side_effects,
+)
+from repro.analysis.report import analysis_report, validation_report
+from repro.analysis.summary import (
+    PhasePattern,
+    ProgramAnalysis,
+    TargetPattern,
+    aggregate_patterns,
+    analyze_program,
+)
+
+__all__ = [
+    "DEFAULT_TRIPS",
+    "LoopInfo",
+    "analyze_loop",
+    "PhaseInfo",
+    "analyze_phases",
+    "PDVInfo",
+    "detect_pdvs",
+    "MAIN_PROC",
+    "ProcSetResult",
+    "branch_split",
+    "compute_proc_sets",
+    "eval_cond_for_pid",
+    "StaticProfile",
+    "compute_profile",
+    "FINI_PHASE",
+    "INIT_PHASE",
+    "AccessEntry",
+    "SideEffects",
+    "Target",
+    "analyze_side_effects",
+    "PhasePattern",
+    "ProgramAnalysis",
+    "TargetPattern",
+    "aggregate_patterns",
+    "analyze_program",
+]

@@ -1,0 +1,175 @@
+"""Loop normalization shared by static profiling and the side-effect
+analysis.
+
+Extracts, for counted ``for`` loops, the induction variable and its
+bounds as affine forms over the PDV; estimates trip counts where the
+bounds are compile-time constants.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.lang import astnodes as A
+from repro.analysis.pdv import affine_of_expr
+from repro.rsd.expr import Affine
+
+#: Trip estimate for loops whose bounds the static profile cannot see
+#: (while loops, data-dependent bounds).  The paper notes static
+#: profiling can *underestimate* busy data-dependent loops — that comes
+#: from exactly this kind of default.
+DEFAULT_TRIPS = 10.0
+
+
+@dataclass(slots=True)
+class LoopInfo:
+    """A normalized counted loop ``var = lo; var <= hi; var += step``."""
+
+    var: Optional[str]          # induction variable (None if unrecognized)
+    lo: Optional[Affine]        # inclusive lower bound
+    hi: Optional[Affine]        # inclusive upper bound
+    step: int                   # positive
+    trips: float                # static trip estimate
+    exact: bool                 # True when trips came from constant bounds
+
+    @property
+    def bounds(self) -> Optional[tuple[Affine, Affine, int]]:
+        if self.var is None or self.lo is None or self.hi is None:
+            return None
+        return (self.lo, self.hi, self.step)
+
+
+def analyze_loop(
+    loop: A.For | A.While,
+    bindings: dict[str, Affine],
+    invariant_globals: dict[str, int],
+    nprocs: int,
+) -> LoopInfo:
+    """Normalize a loop.  ``while`` loops and unrecognized ``for`` forms
+    yield a LoopInfo with ``var=None`` and the default trip estimate."""
+    unknown = LoopInfo(None, None, None, 1, DEFAULT_TRIPS, False)
+    if isinstance(loop, A.While):
+        return unknown
+    init, cond, update = loop.init, loop.cond, loop.update
+    if not (
+        isinstance(init, A.Assign)
+        and not init.op
+        and isinstance(init.target, A.Ident)
+        and cond is not None
+        and isinstance(update, A.Assign)
+        and isinstance(update.target, A.Ident)
+    ):
+        return unknown
+    var = init.target.name
+    if update.target.name != var:
+        return unknown
+    step = _step_of(update, bindings, invariant_globals, nprocs)
+    if step is None:
+        return unknown
+    lo = affine_of_expr(init.value, bindings, invariant_globals, nprocs)
+    hi = _upper_bound(cond, var, bindings, invariant_globals, nprocs, step)
+    if lo is None or hi is None:
+        return unknown
+    if step < 0:
+        # downward loop: normalize to an upward range
+        lo, hi, step = hi, lo, -step
+    trips, exact = _trip_estimate(lo, hi, step, nprocs)
+    return LoopInfo(var, lo, hi, step, trips, exact)
+
+
+def _step_of(
+    update: A.Assign,
+    bindings: dict[str, Affine],
+    invariant_globals: dict[str, int],
+    nprocs: int,
+) -> Optional[int]:
+    """Signed step of ``var += c`` / ``var -= c`` / ``var = var + c``
+    where ``c`` folds to a positive constant (literal, ``nprocs()``,
+    invariant global, ...)."""
+
+    def fold(e: A.Expr) -> Optional[int]:
+        aff = affine_of_expr(e, bindings, invariant_globals, nprocs)
+        if aff is not None and aff.is_constant:
+            return aff.const
+        return None
+
+    if update.op in ("+", "-"):
+        c = fold(update.value)
+        if c is None or c <= 0:
+            return None
+        return c if update.op == "+" else -c
+    if not update.op and isinstance(update.value, A.BinOp):
+        b = update.value
+        if (
+            b.op in ("+", "-")
+            and isinstance(b.left, A.Ident)
+            and isinstance(update.target, A.Ident)
+            and b.left.name == update.target.name
+        ):
+            c = fold(b.right)
+            if c is None or c <= 0:
+                return None
+            return c if b.op == "+" else -c
+    return None
+
+
+def _upper_bound(
+    cond: A.Expr,
+    var: str,
+    bindings: dict[str, Affine],
+    invariant_globals: dict[str, int],
+    nprocs: int,
+    step: int,
+) -> Optional[Affine]:
+    """Inclusive far bound from the loop condition.
+
+    Upward loops: ``var < e`` → e-1, ``var <= e`` → e.
+    Downward loops: ``var > e`` → e+1, ``var >= e`` → e.
+    """
+    if not isinstance(cond, A.BinOp):
+        return None
+    left, right, op = cond.left, cond.right, cond.op
+    if isinstance(right, A.Ident) and right.name == var:
+        # flip e OP var into var OP' e
+        flip = {"<": ">", "<=": ">=", ">": "<", ">=": "<="}
+        if op not in flip:
+            return None
+        left, right, op = right, left, flip[op]
+    if not (isinstance(left, A.Ident) and left.name == var):
+        return None
+    bound = affine_of_expr(right, bindings, invariant_globals, nprocs)
+    if bound is None:
+        return None
+    if step > 0:
+        if op == "<":
+            return bound - 1
+        if op == "<=":
+            return bound
+    else:
+        if op == ">":
+            return bound + 1
+        if op == ">=":
+            return bound
+    return None
+
+
+def _trip_estimate(
+    lo: Affine, hi: Affine, step: int, nprocs: int
+) -> tuple[float, bool]:
+    span = hi - lo
+    if span.is_constant:
+        if span.const < 0:
+            return 0.0, True
+        return float(span.const // step + 1), True
+    # Bounds affine only in the PDV (e.g. cyclic "i = pid; i < N"):
+    # estimate at the median process.
+    from repro.rsd.expr import PDV
+
+    if span.only_symbols({PDV}):
+        mid = span.substitute({PDV: nprocs // 2})
+        if mid.is_constant:
+            if mid.const < 0:
+                return 0.0, False
+            return float(mid.const // step + 1), False
+    return DEFAULT_TRIPS, False

@@ -1,0 +1,140 @@
+"""Stage 2: interprocedural non-concurrency analysis [JE94, MR93].
+
+Examines the barrier synchronization pattern of the program and
+delineates the phases that cannot execute in parallel: statements
+separated by a global barrier never run concurrently, so the analysis
+can detect when the sharing pattern *shifts* and (with static profiling)
+pick the dominant pattern to restructure for.
+
+Phases are numbered structurally: the k-th barrier site along the
+worker's execution order ends phase k.  A loop containing barriers
+repeats its phase pattern every iteration; its phases are recorded as a
+*cyclic group* (statements labelled with first-iteration numbers), which
+keeps the labelling finite while preserving the ordering facts the
+transformation heuristics use.
+
+Barriers are an SPMD-wide rendezvous, so a barrier reachable only by
+some processes (inside a PDV-divergent branch) would deadlock; the
+analysis rejects such programs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import AnalysisError
+from repro.ir.callgraph import CallGraph
+from repro.lang import astnodes as A
+from repro.lang.checker import CheckedProgram
+
+
+@dataclass(slots=True)
+class PhaseInfo:
+    """Phase structure of the program's parallel section."""
+
+    #: per function: id(stmt) -> phase offset relative to function entry
+    offsets: dict[str, dict[int, int]] = field(default_factory=dict)
+    #: per function: barriers executed along one pass through the body
+    barrier_counts: dict[str, int] = field(default_factory=dict)
+    #: phase count of each worker (offset range is [0, nphases-1])
+    worker_phases: dict[str, int] = field(default_factory=dict)
+    #: phase ranges (first, last) that repeat because they sit in a loop
+    cyclic_groups: list[tuple[int, int]] = field(default_factory=list)
+
+    def phase_of(self, func: str, stmt: A.Stmt) -> int:
+        return self.offsets.get(func, {}).get(id(stmt), 0)
+
+    def nphases(self, worker: str) -> int:
+        return self.worker_phases.get(worker, 1)
+
+
+def analyze_phases(checked: CheckedProgram, cg: CallGraph) -> PhaseInfo:
+    """Compute barrier counts bottom-up and phase offsets for every
+    function body."""
+    info = PhaseInfo()
+    order = cg.bottom_up_order()
+    for name in order:
+        fsym = checked.symtab.funcs.get(name)
+        if fsym is None:  # pragma: no cover - defensive
+            continue
+        fn = fsym.defn
+        counter = _Walker(info, name)
+        counter.walk_block(fn.body)
+        info.offsets[name] = counter.offsets
+        info.barrier_counts[name] = counter.phase
+    for worker in cg.spawned:
+        info.worker_phases[worker] = info.barrier_counts.get(worker, 0) + 1
+    return info
+
+
+class _Walker:
+    def __init__(self, info: PhaseInfo, func: str):
+        self.info = info
+        self.func = func
+        self.phase = 0
+        self.offsets: dict[int, int] = {}
+
+    # -- counting helpers ------------------------------------------------------
+
+    def _stmt_barriers(self, stmt: A.Stmt) -> int:
+        """Barriers executed by one execution of a *simple* statement
+        (its own barrier call plus those inside called functions)."""
+        count = 0
+        for e in A.stmt_exprs(stmt):
+            if isinstance(e, A.Call):
+                if e.name == "barrier":
+                    count += 1
+                else:
+                    count += self.info.barrier_counts.get(e.name, 0)
+        return count
+
+    def _subtree_barriers(self, stmt: A.Stmt) -> int:
+        total = self._stmt_barriers(stmt)
+        for s in A.child_stmts(stmt):
+            total += self._subtree_barriers(s)
+        return total
+
+    # -- walking ---------------------------------------------------------------
+
+    def walk_block(self, block: A.Block) -> None:
+        for stmt in block.body:
+            self.walk(stmt)
+
+    def walk(self, stmt: A.Stmt) -> None:
+        self.offsets[id(stmt)] = self.phase
+        if isinstance(stmt, A.Block):
+            self.walk_block(stmt)
+        elif isinstance(stmt, A.If):
+            n_then = self._subtree_barriers(stmt.then)
+            n_else = self._subtree_barriers(stmt.orelse) if stmt.orelse else 0
+            if n_then or n_else:
+                if n_then != n_else:
+                    raise AnalysisError(
+                        "barrier occurs in only one arm of a conditional; "
+                        "all processes must reach every barrier",
+                        stmt.loc,
+                    )
+                # Same barrier count on both arms: processes stay in step.
+            self.walk(stmt.then)
+            then_phase = self.phase
+            self.phase = self.offsets[id(stmt)]
+            if stmt.orelse is not None:
+                self.walk(stmt.orelse)
+            self.phase = max(self.phase, then_phase)
+        elif isinstance(stmt, (A.While, A.For)):
+            start = self.phase
+            if isinstance(stmt, A.For):
+                if stmt.init is not None:
+                    self.walk(stmt.init)
+                if stmt.update is not None:
+                    self.offsets[id(stmt.update)] = self.phase
+            self.walk(stmt.body)
+            if isinstance(stmt, A.For) and stmt.update is not None:
+                # update executes at end of each iteration, in the phase
+                # reached at the end of the body
+                self.offsets[id(stmt.update)] = self.phase
+            if self.phase != start:
+                self.info.cyclic_groups.append((start, self.phase))
+        else:
+            # simple statement: advance the phase past its barriers
+            self.phase += self._stmt_barriers(stmt)

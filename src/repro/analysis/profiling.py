@@ -1,0 +1,116 @@
+"""Static profiling: estimated execution frequencies for statements.
+
+Stage 3 of the paper's analysis weights side effects "with respect to
+estimated execution frequency" using static profiling.  The estimate
+here is the classical one: a statement's local weight is the product of
+the trip counts of its enclosing loops (exact when the bounds fold to
+constants, a default otherwise) times a 0.5 probability for each
+enclosing conditional arm.  Branches that test the PDV are *not*
+discounted — which process runs them is captured by stage 1's process
+sets, not by probability.
+
+Function entry weights compose interprocedurally over the (acyclic)
+call graph: ``entry(callee) = Σ_sites entry(caller) × local(site)``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.analysis.loops import analyze_loop
+from repro.analysis.pdv import PDVInfo
+from repro.ir.callgraph import CallGraph
+from repro.lang import astnodes as A
+from repro.lang.checker import CheckedProgram
+
+#: Probability assigned to each arm of a non-PDV conditional.
+BRANCH_PROB = 0.5
+
+
+@dataclass(slots=True)
+class StaticProfile:
+    """Local and interprocedural execution-frequency estimates."""
+
+    #: per function: id(stmt) -> weight relative to one function entry
+    local: dict[str, dict[int, float]] = field(default_factory=dict)
+    #: per function: estimated number of entries (per process for workers)
+    entry: dict[str, float] = field(default_factory=dict)
+
+    def weight(self, func: str, stmt: A.Stmt) -> float:
+        """Absolute estimated execution count of ``stmt``."""
+        return self.entry.get(func, 0.0) * self.local_weight(func, stmt)
+
+    def local_weight(self, func: str, stmt: A.Stmt) -> float:
+        return self.local.get(func, {}).get(id(stmt), 1.0)
+
+
+def _tests_pdv(cond: A.Expr, pdv_vars: dict[str, object]) -> bool:
+    for e in A.walk_exprs(cond):
+        if isinstance(e, A.Ident) and e.name in pdv_vars:
+            return True
+    return False
+
+
+def compute_profile(
+    checked: CheckedProgram,
+    cg: CallGraph,
+    pdvinfo: PDVInfo,
+    nprocs: int,
+) -> StaticProfile:
+    profile = StaticProfile()
+    for fn in checked.program.funcs:
+        profile.local[fn.name] = _local_weights(fn, pdvinfo, nprocs)
+
+    # Interprocedural entry counts, callers before callees.
+    for name in checked.symtab.funcs:
+        profile.entry.setdefault(name, 0.0)
+    profile.entry["main"] = 1.0
+    order = list(reversed(cg.bottom_up_order()))
+    for caller in order:
+        w_entry = profile.entry.get(caller, 0.0)
+        if w_entry == 0.0:
+            continue
+        local = profile.local.get(caller, {})
+        for site in cg.sites_in(caller):
+            w_site = local.get(id(site.stmt), 1.0)
+            if site.call.name == "create":
+                # each spawned process enters the worker once
+                profile.entry[site.callee] = max(profile.entry[site.callee], 1.0)
+            else:
+                profile.entry[site.callee] += w_entry * w_site
+    return profile
+
+
+def _local_weights(
+    fn: A.FuncDef, pdvinfo: PDVInfo, nprocs: int
+) -> dict[int, float]:
+    bindings = pdvinfo.bindings.get(fn.name, {})
+    pdv_vars = {
+        name: form
+        for name, form in bindings.items()
+        if form.depends_on_pdv
+    }
+    weights: dict[int, float] = {}
+
+    def visit(stmt: A.Stmt, w: float) -> None:
+        weights[id(stmt)] = w
+        if isinstance(stmt, A.Block):
+            for s in stmt.body:
+                visit(s, w)
+        elif isinstance(stmt, A.If):
+            arm = w if _tests_pdv(stmt.cond, pdv_vars) else w * BRANCH_PROB
+            visit(stmt.then, arm)
+            if stmt.orelse is not None:
+                visit(stmt.orelse, arm)
+        elif isinstance(stmt, (A.While, A.For)):
+            info = analyze_loop(stmt, bindings, pdvinfo.invariant_globals, nprocs)
+            inner = w * max(info.trips, 0.0)
+            if isinstance(stmt, A.For):
+                if stmt.init is not None:
+                    visit(stmt.init, w)
+                if stmt.update is not None:
+                    visit(stmt.update, inner)
+            visit(stmt.body, inner)
+
+    visit(fn.body, 1.0)
+    return weights

@@ -1,0 +1,233 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+
+``analyze FILE``
+    Run the compile-time analyses and print the per-structure sharing
+    patterns and the transformation decisions.
+``transform FILE``
+    Print the source-to-source transformed program.
+``run FILE``
+    Execute the program under the unoptimized (or ``--optimized``)
+    layout and print its output.
+``simulate FILE``
+    Trace and simulate both versions, printing the miss comparison.
+``experiments NAME``
+    Regenerate one of the paper's artifacts: ``table1 figure3 table2
+    figure4 table3 headline``.
+``workloads``
+    List the benchmark suite.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+from repro.analysis import analyze_program
+from repro.harness import (
+    WorkloadLab,
+    figure3,
+    figure4,
+    headline,
+    render_figure3,
+    render_headline,
+    render_scalability,
+    render_table1,
+    render_table2,
+    render_table3,
+    table1,
+    table2,
+    table3,
+)
+from repro.lang import compile_source
+from repro.layout import DataLayout
+from repro.runtime import run_program
+from repro.sim import simulate_run, top_fs_structures
+from repro.transform import decide_transformations, render_transformed_source
+
+
+def _load(path: str):
+    return compile_source(Path(path).read_text(), filename=path)
+
+
+def cmd_analyze(args) -> int:
+    checked = _load(args.file)
+    pa = analyze_program(checked, args.nprocs)
+    print(f"workers: {pa.pdvinfo.workers}")
+    print(f"phases:  {pa.phase_info.worker_phases}")
+    print(f"invariant globals: {pa.pdvinfo.invariant_globals}")
+    print()
+    print(f"{'structure':<24} {'Wpp':>8} {'Wsh':>8} {'Rpp':>8} "
+          f"{'Rloc':>8} {'Rnon':>8}  flags")
+    for target, pat in sorted(pa.patterns.items(), key=lambda kv: str(kv[0])):
+        flags = []
+        if pat.is_lock:
+            flags.append("lock")
+        if pat.writes_pdv_disjoint:
+            flags.append("pdv-disjoint")
+        if pat.pattern_shifts:
+            flags.append("shifts")
+        print(
+            f"{str(target):<24} {pat.write_pp:>8.0f} {pat.write_sh:>8.0f} "
+            f"{pat.read_pp:>8.0f} {pat.read_sh_local:>8.0f} "
+            f"{pat.read_sh_nonlocal:>8.0f}  {' '.join(flags)}"
+        )
+    print()
+    plan = decide_transformations(pa, block_size=args.block_size)
+    print(plan.describe())
+    if args.verbose:
+        print()
+        for d in plan.decisions:
+            print(f"  {d}")
+    return 0
+
+
+def cmd_transform(args) -> int:
+    checked = _load(args.file)
+    plan = decide_transformations(
+        analyze_program(checked, args.nprocs), block_size=args.block_size
+    )
+    print(render_transformed_source(
+        checked, plan, block_size=args.block_size, nprocs=args.nprocs
+    ))
+    return 0
+
+
+def cmd_run(args) -> int:
+    checked = _load(args.file)
+    plan = None
+    if args.optimized:
+        plan = decide_transformations(
+            analyze_program(checked, args.nprocs), block_size=args.block_size
+        )
+    layout = DataLayout(
+        checked, plan, nprocs=args.nprocs, block_size=args.block_size
+    )
+    result = run_program(checked, layout, args.nprocs)
+    for line in result.output:
+        print(line)
+    print(
+        f"[{args.nprocs} procs, {len(result.trace)} shared refs, "
+        f"exit {result.exit_value}]",
+        file=sys.stderr,
+    )
+    return int(result.exit_value or 0)
+
+
+def cmd_simulate(args) -> int:
+    checked = _load(args.file)
+    pa = analyze_program(checked, args.nprocs)
+    plan = decide_transformations(pa, block_size=args.block_size)
+    base_layout = DataLayout(
+        checked, nprocs=args.nprocs, block_size=args.block_size
+    )
+    opt_layout = DataLayout(
+        checked, plan, nprocs=args.nprocs, block_size=args.block_size
+    )
+    base = run_program(checked, base_layout, args.nprocs)
+    opt = run_program(checked, opt_layout, args.nprocs)
+    print(plan.describe())
+    print()
+    for label, run, layout in (
+        ("unoptimized", base, base_layout),
+        ("transformed", opt, opt_layout),
+    ):
+        sim = simulate_run(run, args.block_size)
+        print(
+            f"{label:>12}: miss rate {100 * sim.miss_rate:6.2f}%  "
+            f"misses {sim.total_misses:6d}  "
+            f"false sharing {sim.misses.false_sharing:6d}"
+        )
+        if args.verbose:
+            from repro.layout.regions import build_region_map
+
+            regions = build_region_map(layout, run.heap_segments)
+            for s in top_fs_structures(sim, regions, 5):
+                if s.false_sharing:
+                    print(f"{'':>14}{s.name}: {s.false_sharing} FS misses")
+    return 0
+
+
+def cmd_experiments(args) -> int:
+    lab = WorkloadLab()
+    name = args.name
+    if name == "table1":
+        print(render_table1(table1()))
+    elif name == "figure3":
+        print(render_figure3(figure3(lab=lab)))
+    elif name == "table2":
+        print(render_table2(table2(lab=lab)))
+    elif name == "figure4":
+        for sc in figure4(lab=lab):
+            print(render_scalability(sc))
+            print()
+    elif name == "table3":
+        print(render_table3(table3(lab=lab)))
+    elif name == "headline":
+        print(render_headline(headline(lab=lab)))
+    else:  # pragma: no cover - argparse restricts choices
+        print(f"unknown experiment {name!r}", file=sys.stderr)
+        return 2
+    return 0
+
+
+def cmd_workloads(_args) -> int:
+    print(render_table1(table1()))
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Compile-time data transformations against false "
+        "sharing (Jeremiassen & Eggers, PPoPP 1995).",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    def common(p):
+        p.add_argument("file", help="parallel-C source file")
+        p.add_argument("-p", "--nprocs", type=int, default=8)
+        p.add_argument("-b", "--block-size", type=int, default=128)
+        p.add_argument("-v", "--verbose", action="store_true")
+
+    p = sub.add_parser("analyze", help="print sharing patterns and the plan")
+    common(p)
+    p.set_defaults(func=cmd_analyze)
+
+    p = sub.add_parser("transform", help="print the transformed source")
+    common(p)
+    p.set_defaults(func=cmd_transform)
+
+    p = sub.add_parser("run", help="execute a program")
+    common(p)
+    p.add_argument("-O", "--optimized", action="store_true",
+                   help="run under the compiler-transformed layout")
+    p.set_defaults(func=cmd_run)
+
+    p = sub.add_parser("simulate", help="compare miss rates N vs C")
+    common(p)
+    p.set_defaults(func=cmd_simulate)
+
+    p = sub.add_parser("experiments", help="regenerate a paper artifact")
+    p.add_argument(
+        "name",
+        choices=["table1", "figure3", "table2", "figure4", "table3", "headline"],
+    )
+    p.set_defaults(func=cmd_experiments)
+
+    p = sub.add_parser("workloads", help="list the benchmark suite")
+    p.set_defaults(func=cmd_workloads)
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

@@ -1,0 +1,117 @@
+"""End-to-end pipeline: source → analysis → plan → layout → trace →
+simulation → timing.
+
+Program versions follow the paper's methodology (section 4):
+
+* **N** (unoptimized): the natural layout of the source;
+* **C** (compiler): the plan produced by the static analyses and the
+  section-3.3 heuristics;
+* **P** (programmer): a hand-written plan modelling the documented
+  programmer efforts — including what the programmers *missed* (unpadded
+  locks, skipped group&transpose chances, an over-eager pad), which is
+  what the compiler-vs-programmer comparison measures.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from functools import lru_cache
+from typing import Optional
+
+from repro.analysis import ProgramAnalysis, analyze_program
+from repro.lang import CheckedProgram, compile_source
+from repro.layout import DataLayout
+from repro.layout.regions import RegionMap, build_region_map
+from repro.machine import KSR2Config, TimingResult, time_run
+from repro.runtime import RunResult, run_program
+from repro.sim import SimResult, simulate_run
+from repro.transform import TransformPlan, decide_transformations
+
+
+@dataclass(slots=True)
+class VersionRun:
+    """One program version executed at one process count."""
+
+    version: str  # "N" | "C" | "P" (or an attribution label)
+    nprocs: int
+    checked: CheckedProgram
+    plan: Optional[TransformPlan]
+    layout: DataLayout
+    run: RunResult
+
+    def simulate(self, block_size: int, **kw) -> SimResult:
+        return simulate_run(self.run, block_size, **kw)
+
+    def regions(self) -> RegionMap:
+        return build_region_map(self.layout, self.run.heap_segments)
+
+    def timing(self, cfg: KSR2Config | None = None) -> TimingResult:
+        return time_run(self.run, cfg)
+
+
+class Pipeline:
+    """Compiles a source once and executes versions of it on demand.
+
+    Analysis results and transformation plans are cached per process
+    count; runs are cached per (version label, plan identity, nprocs).
+    """
+
+    def __init__(self, source: str, *, block_size: int = 128,
+                 max_steps: int = 200_000_000):
+        self.source = source
+        self.block_size = block_size
+        self.max_steps = max_steps
+        self.checked = compile_source(source)
+        self._analyses: dict[int, ProgramAnalysis] = {}
+        self._plans: dict[int, TransformPlan] = {}
+
+    # -- analysis ---------------------------------------------------------------
+
+    def analysis(self, nprocs: int) -> ProgramAnalysis:
+        pa = self._analyses.get(nprocs)
+        if pa is None:
+            pa = self._analyses[nprocs] = analyze_program(self.checked, nprocs)
+        return pa
+
+    def compiler_plan(self, nprocs: int) -> TransformPlan:
+        plan = self._plans.get(nprocs)
+        if plan is None:
+            plan = decide_transformations(
+                self.analysis(nprocs), block_size=self.block_size
+            )
+            self._plans[nprocs] = plan
+        return plan
+
+    # -- execution ----------------------------------------------------------------
+
+    def execute(
+        self,
+        nprocs: int,
+        plan: Optional[TransformPlan] = None,
+        version: str = "N",
+    ) -> VersionRun:
+        layout = DataLayout(
+            self.checked, plan, block_size=self.block_size, nprocs=nprocs
+        )
+        run = run_program(
+            self.checked, layout, nprocs, max_steps=self.max_steps
+        )
+        return VersionRun(
+            version=version,
+            nprocs=nprocs,
+            checked=self.checked,
+            plan=plan,
+            layout=layout,
+            run=run,
+        )
+
+    def run_unoptimized(self, nprocs: int) -> VersionRun:
+        return self.execute(nprocs, None, "N")
+
+    def run_compiler(self, nprocs: int) -> VersionRun:
+        return self.execute(nprocs, self.compiler_plan(nprocs), "C")
+
+    def run_with_plan(
+        self, nprocs: int, plan: TransformPlan, version: str
+    ) -> VersionRun:
+        return self.execute(nprocs, plan, version)

@@ -1,0 +1,115 @@
+"""Text rendering of experiment results: the same rows/series the paper
+reports, printable from benches and examples."""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.harness.experiments import (
+    Figure3Result,
+    HeadlineStats,
+    ScalabilityResult,
+    Table2Result,
+    Table3Row,
+)
+
+
+def render_table1(rows: list[dict]) -> str:
+    lines = [
+        "Table 1: Benchmarks used in our study",
+        f"{'Program':<12} {'Description':<36} {'LoC':>6}  Versions",
+    ]
+    for r in rows:
+        lines.append(
+            f"{r['program']:<12} {r['description']:<36} "
+            f"{r['lines_of_c']:>6}  {r['versions']}"
+        )
+    return "\n".join(lines)
+
+
+def render_figure3(result: Figure3Result, block_sizes=(16, 128)) -> str:
+    lines = [
+        "Figure 3: total miss rates, unoptimized (N) vs compiler-transformed (C)",
+        "(each cell: total miss rate %, false-sharing portion %)",
+    ]
+    header = f"{'Program':<12} {'P':>3}"
+    for bs in block_sizes:
+        for v in ("N", "C"):
+            header += f"  {v}@{bs}B".rjust(14)
+    lines.append(header)
+    for row in result.rows:
+        text = f"{row.program:<12} {row.nprocs:>3}"
+        for bs in block_sizes:
+            for v in ("N", "C"):
+                cell = row.cells[(bs, v)]
+                text += f"  {100*cell.miss_rate:5.2f}/{100*cell.fs_rate:5.2f}".rjust(14)
+        lines.append(text)
+    return "\n".join(lines)
+
+
+def render_table2(result: Table2Result) -> str:
+    kinds = ("group_transpose", "indirection", "pad_align", "locks")
+    labels = {"group_transpose": "G&T", "indirection": "Indir",
+              "pad_align": "Pad", "locks": "Locks"}
+    lines = [
+        "Table 2: false-sharing miss reduction by transformation "
+        "(averages over 8-256 byte blocks)",
+        f"{'Program':<12} {'Total':>7} {'(paper)':>8}  "
+        + "  ".join(f"{labels[k]:>6}" for k in kinds),
+    ]
+    for row in result.rows:
+        paper = f"({row.paper_total:.1f})" if row.paper_total else "   —  "
+        cells = "  ".join(
+            f"{row.by_transform.get(k, 0.0):6.1f}" for k in kinds
+        )
+        lines.append(
+            f"{row.program:<12} {row.total_reduction:6.1f}% {paper:>8}  {cells}"
+        )
+    return "\n".join(lines)
+
+
+def render_scalability(result: ScalabilityResult) -> str:
+    lines = [f"Figure 4 ({result.program}): speedup vs processors"]
+    procs = sorted(next(iter(result.curves.values())).points)
+    header = f"{'P':>4}" + "".join(f"{v:>8}" for v in result.curves)
+    lines.append(header)
+    for p in procs:
+        row = f"{p:>4}"
+        for curve in result.curves.values():
+            row += f"{curve.points.get(p, float('nan')):8.2f}"
+        lines.append(row)
+    return "\n".join(lines)
+
+
+def render_table3(rows: Sequence[Table3Row]) -> str:
+    lines = [
+        "Table 3: maximum speedups (and processor count at the maximum)",
+        f"{'Program':<12} "
+        + "".join(f"{v:>16}" for v in ("Original", "Compiler", "Programmer"))
+        + "    paper (O/C/P)",
+    ]
+    order = {"Original": "N", "Compiler": "C", "Programmer": "P"}
+    for row in rows:
+        text = f"{row.program:<12} "
+        for label, v in order.items():
+            got = row.results.get(v)
+            text += (f"{got[0]:9.1f} ({got[1]:>2})" if got else " " * 14).rjust(16)
+        paper_txt = " / ".join(
+            f"{row.paper[v][0]:.1f}({row.paper[v][1]})" if v in row.paper else "—"
+            for v in ("N", "C", "P")
+        )
+        lines.append(text + "    " + paper_txt)
+    return "\n".join(lines)
+
+
+def render_headline(stats: HeadlineStats) -> str:
+    return "\n".join(
+        [
+            "Section 5 headline statistics (measured vs paper):",
+            f"  false sharing share of misses @128B : {100*stats.fs_fraction_of_misses:5.1f}%  (paper ~70%)",
+            f"  false-sharing misses eliminated     : {100*stats.fs_eliminated:5.1f}%  (paper ~80%)",
+            f"  other-miss increase                 : {100*stats.other_miss_increase:+5.1f}%  (paper ~+19%)",
+            f"  total miss reduction @128B          : {100*stats.total_miss_reduction_128:5.1f}%  (paper ~50%)",
+            f"  total miss reduction @64B           : {100*stats.total_miss_reduction_64:5.1f}%  (paper 49%)",
+        ]
+    )

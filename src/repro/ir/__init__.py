@@ -1,0 +1,15 @@
+"""Intermediate representation: statement-level control-flow graphs and
+the program call graph the interprocedural analyses run over."""
+
+from repro.ir.callgraph import CallGraph, CallSite, build_callgraph
+from repro.ir.cfg import CFG, CFGNode, NodeKind, build_cfg
+
+__all__ = [
+    "CFG",
+    "CFGNode",
+    "NodeKind",
+    "build_cfg",
+    "CallGraph",
+    "CallSite",
+    "build_callgraph",
+]

@@ -1,0 +1,111 @@
+"""Call graph construction and bottom-up traversal order.
+
+The summary side-effect analysis (stage 3) proceeds bottom-up over the
+call graph [CK88b]; the per-process control-flow analysis (stage 1)
+propagates process sets top-down.  The restricted model has no function
+pointers (``create`` names its target statically), so the graph is exact.
+Recursion is rejected: the paper's interprocedural summaries assume an
+acyclic call graph, and none of the workloads need it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import AnalysisError
+from repro.lang import astnodes as A
+from repro.lang.builtins_sig import is_builtin
+from repro.lang.checker import CheckedProgram
+
+
+@dataclass(slots=True)
+class CallSite:
+    caller: str
+    callee: str
+    call: A.Call
+    stmt: A.Stmt  # the statement containing the call
+
+
+@dataclass(slots=True)
+class CallGraph:
+    #: adjacency: caller -> list of callees (with repeats per site)
+    edges: dict[str, list[str]] = field(default_factory=dict)
+    sites: list[CallSite] = field(default_factory=list)
+    #: functions spawned via create()
+    spawned: set[str] = field(default_factory=set)
+
+    def callees(self, name: str) -> list[str]:
+        return self.edges.get(name, [])
+
+    def callers(self, name: str) -> list[str]:
+        return [c for c, outs in self.edges.items() if name in outs]
+
+    def sites_in(self, caller: str) -> list[CallSite]:
+        return [s for s in self.sites if s.caller == caller]
+
+    def sites_of(self, callee: str) -> list[CallSite]:
+        return [s for s in self.sites if s.callee == callee]
+
+    def bottom_up_order(self) -> list[str]:
+        """Functions ordered so every callee precedes its callers.
+
+        Raises :class:`AnalysisError` on recursion.
+        """
+        state: dict[str, int] = {}  # 0 = visiting, 1 = done
+        order: list[str] = []
+
+        def visit(name: str, chain: tuple[str, ...]) -> None:
+            st = state.get(name)
+            if st == 1:
+                return
+            if st == 0:
+                cycle = " -> ".join(chain + (name,))
+                raise AnalysisError(
+                    f"recursive call cycle is outside the restricted model: {cycle}"
+                )
+            state[name] = 0
+            for callee in dict.fromkeys(self.edges.get(name, [])):
+                visit(callee, chain + (name,))
+            state[name] = 1
+            order.append(name)
+
+        for name in self.edges:
+            visit(name, ())
+        return order
+
+    def reachable_from(self, roots: list[str]) -> set[str]:
+        seen = set(roots)
+        stack = list(roots)
+        while stack:
+            cur = stack.pop()
+            for callee in self.edges.get(cur, []):
+                if callee not in seen:
+                    seen.add(callee)
+                    stack.append(callee)
+        return seen
+
+
+def build_callgraph(checked: CheckedProgram) -> CallGraph:
+    """Build the program's call graph.  ``create(f, e)`` contributes an
+    edge main → f (marked in :attr:`CallGraph.spawned`)."""
+    cg = CallGraph()
+    user_funcs = set(checked.symtab.funcs)
+    for fn in checked.program.funcs:
+        outs: list[str] = []
+        for stmt in A.walk_stmts(fn.body):
+            for e in A.stmt_exprs(stmt):
+                if not isinstance(e, A.Call):
+                    continue
+                if e.name == "create":
+                    target = e.args[0]
+                    assert isinstance(target, A.Ident)
+                    outs.append(target.name)
+                    cg.spawned.add(target.name)
+                    cg.sites.append(CallSite(fn.name, target.name, e, stmt))
+                elif e.name in user_funcs:
+                    outs.append(e.name)
+                    cg.sites.append(CallSite(fn.name, e.name, e, stmt))
+                elif not is_builtin(e.name):  # pragma: no cover - checker rejects
+                    raise AnalysisError(f"unknown callee {e.name!r}", e.loc)
+        cg.edges[fn.name] = outs
+    return cg

@@ -1,0 +1,30 @@
+"""Frontend for the restricted parallel-C language the paper's model
+assumes: lexer, parser, AST, type system, semantic checker and printer.
+
+The usual entry point is :func:`repro.lang.checker.compile_source`, which
+parses and type-checks a source string in one step::
+
+    from repro.lang import compile_source
+    checked = compile_source(src)
+    checked.program      # the AST
+    checked.symtab       # symbol information
+    checked.spawn_sites  # create() sites (the fork model)
+"""
+
+from repro.lang import astnodes, ctypes
+from repro.lang.checker import CheckedProgram, SpawnSite, check, compile_source
+from repro.lang.lexer import tokenize
+from repro.lang.parser import parse
+from repro.lang.printer import to_source
+
+__all__ = [
+    "astnodes",
+    "ctypes",
+    "CheckedProgram",
+    "SpawnSite",
+    "check",
+    "compile_source",
+    "tokenize",
+    "parse",
+    "to_source",
+]

@@ -1,0 +1,87 @@
+"""Builtin function signatures shared by the checker, the analyses and the
+interpreter.
+
+The parallel primitives mirror the ANL/SPLASH macro set the paper's
+workloads use:
+
+``create(worker, expr)``
+    Spawn a process executing ``worker(expr)``.  The paper's fork/join
+    model; the spawn loop's induction variable becomes the process
+    differentiating variable (PDV) in the worker.
+``wait_for_end()``
+    Join all spawned processes (main only).
+``barrier()``
+    Global barrier across all worker processes.
+``lock(&l)`` / ``unlock(&l)``
+    Acquire / release a ``lock_t``.
+
+``nprocs()`` returns the number of worker processes; analyses treat it as
+a symbolic invariant (``NPROCS``), so array sections expressed in terms
+of it can be reasoned about for any process count.
+
+Deterministic pseudo-random helpers (``rnd``, ``rndf``) hash their
+argument (splitmix64) so program behaviour is reproducible and
+independent of scheduling.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.lang import ctypes as T
+
+
+@dataclass(frozen=True, slots=True)
+class BuiltinSig:
+    name: str
+    params: tuple[T.CType, ...]
+    ret: T.CType
+    #: Checked specially (variable arity / function-name argument).
+    special: bool = False
+
+
+_LOCKP = T.PointerType(T.LOCK)
+
+BUILTINS: dict[str, BuiltinSig] = {
+    # parallel primitives
+    "create": BuiltinSig("create", (), T.VOID, special=True),
+    "wait_for_end": BuiltinSig("wait_for_end", (), T.VOID),
+    "barrier": BuiltinSig("barrier", (), T.VOID),
+    "lock": BuiltinSig("lock", (_LOCKP,), T.VOID),
+    "unlock": BuiltinSig("unlock", (_LOCKP,), T.VOID),
+    "nprocs": BuiltinSig("nprocs", (), T.INT),
+    # numeric helpers
+    "min": BuiltinSig("min", (T.INT, T.INT), T.INT),
+    "max": BuiltinSig("max", (T.INT, T.INT), T.INT),
+    "abs": BuiltinSig("abs", (T.INT,), T.INT),
+    "fmin": BuiltinSig("fmin", (T.DOUBLE, T.DOUBLE), T.DOUBLE),
+    "fmax": BuiltinSig("fmax", (T.DOUBLE, T.DOUBLE), T.DOUBLE),
+    "fabs": BuiltinSig("fabs", (T.DOUBLE,), T.DOUBLE),
+    "sqrt": BuiltinSig("sqrt", (T.DOUBLE,), T.DOUBLE),
+    "sin": BuiltinSig("sin", (T.DOUBLE,), T.DOUBLE),
+    "cos": BuiltinSig("cos", (T.DOUBLE,), T.DOUBLE),
+    "exp": BuiltinSig("exp", (T.DOUBLE,), T.DOUBLE),
+    "pow": BuiltinSig("pow", (T.DOUBLE, T.DOUBLE), T.DOUBLE),
+    "toint": BuiltinSig("toint", (T.DOUBLE,), T.INT),
+    "tofloat": BuiltinSig("tofloat", (T.INT,), T.DOUBLE),
+    # deterministic pseudo-random
+    "rnd": BuiltinSig("rnd", (T.INT,), T.INT),
+    "rndf": BuiltinSig("rndf", (T.INT,), T.DOUBLE),
+    # debugging aid (interpreter collects output)
+    "print": BuiltinSig("print", (), T.VOID, special=True),
+}
+
+#: Builtins whose calls synchronize processes (used by the analyses).
+SYNC_BUILTINS = frozenset({"barrier", "lock", "unlock", "create", "wait_for_end"})
+
+#: Builtins that are pure functions of their arguments.
+PURE_BUILTINS = frozenset(
+    {
+        "nprocs", "min", "max", "abs", "fmin", "fmax", "fabs", "sqrt",
+        "sin", "cos", "exp", "pow", "toint", "tofloat", "rnd", "rndf",
+    }
+)
+
+
+def is_builtin(name: str) -> bool:
+    return name in BUILTINS

@@ -1,0 +1,175 @@
+"""Hand-written lexer for the restricted parallel-C language."""
+
+from __future__ import annotations
+
+from repro.errors import LexError, SourceLocation
+from repro.lang.tokens import KEYWORDS, Token, TokenKind
+
+_PUNCT2 = {
+    "==": TokenKind.EQ,
+    "!=": TokenKind.NE,
+    "<=": TokenKind.LE,
+    ">=": TokenKind.GE,
+    "&&": TokenKind.ANDAND,
+    "||": TokenKind.OROR,
+    "->": TokenKind.ARROW,
+    "+=": TokenKind.PLUS_ASSIGN,
+    "-=": TokenKind.MINUS_ASSIGN,
+    "*=": TokenKind.STAR_ASSIGN,
+    "/=": TokenKind.SLASH_ASSIGN,
+    "++": TokenKind.PLUSPLUS,
+    "--": TokenKind.MINUSMINUS,
+}
+
+_PUNCT1 = {
+    "(": TokenKind.LPAREN,
+    ")": TokenKind.RPAREN,
+    "{": TokenKind.LBRACE,
+    "}": TokenKind.RBRACE,
+    "[": TokenKind.LBRACKET,
+    "]": TokenKind.RBRACKET,
+    ";": TokenKind.SEMI,
+    ",": TokenKind.COMMA,
+    ".": TokenKind.DOT,
+    "=": TokenKind.ASSIGN,
+    "+": TokenKind.PLUS,
+    "-": TokenKind.MINUS,
+    "*": TokenKind.STAR,
+    "/": TokenKind.SLASH,
+    "%": TokenKind.PERCENT,
+    "&": TokenKind.AMP,
+    "!": TokenKind.NOT,
+    "<": TokenKind.LT,
+    ">": TokenKind.GT,
+}
+
+
+class Lexer:
+    """Converts source text into a list of :class:`Token`.
+
+    Supports ``//`` line comments and ``/* ... */`` block comments,
+    decimal integer literals, and floating literals of the forms
+    ``1.5``, ``.5``, ``1.``, ``1e-3``, ``1.5e2``.
+    """
+
+    def __init__(self, source: str, filename: str = "<input>"):
+        self.src = source
+        self.filename = filename
+        self.pos = 0
+        self.line = 1
+        self.col = 1
+
+    def _loc(self) -> SourceLocation:
+        return SourceLocation(self.line, self.col, self.filename)
+
+    def _advance(self, n: int = 1) -> None:
+        for _ in range(n):
+            if self.pos < len(self.src) and self.src[self.pos] == "\n":
+                self.line += 1
+                self.col = 1
+            else:
+                self.col += 1
+            self.pos += 1
+
+    def _peek(self, off: int = 0) -> str:
+        p = self.pos + off
+        return self.src[p] if p < len(self.src) else ""
+
+    def _skip_trivia(self) -> None:
+        while self.pos < len(self.src):
+            ch = self._peek()
+            if ch in " \t\r\n":
+                self._advance()
+            elif ch == "/" and self._peek(1) == "/":
+                while self.pos < len(self.src) and self._peek() != "\n":
+                    self._advance()
+            elif ch == "/" and self._peek(1) == "*":
+                start = self._loc()
+                self._advance(2)
+                while self.pos < len(self.src) and not (
+                    self._peek() == "*" and self._peek(1) == "/"
+                ):
+                    self._advance()
+                if self.pos >= len(self.src):
+                    raise LexError("unterminated block comment", start)
+                self._advance(2)
+            else:
+                return
+
+    def _lex_number(self) -> Token:
+        loc = self._loc()
+        start = self.pos
+        saw_dot = False
+        saw_exp = False
+        while self.pos < len(self.src):
+            ch = self._peek()
+            if ch.isdigit():
+                self._advance()
+            elif ch == "." and not saw_dot and not saw_exp:
+                saw_dot = True
+                self._advance()
+            elif ch in "eE" and not saw_exp and self.pos > start:
+                nxt = self._peek(1)
+                if nxt.isdigit() or (
+                    nxt in "+-" and self._peek(2).isdigit()
+                ):
+                    saw_exp = True
+                    self._advance()
+                    if self._peek() in "+-":
+                        self._advance()
+                else:
+                    break
+            else:
+                break
+        text = self.src[start : self.pos]
+        if saw_dot or saw_exp:
+            try:
+                return Token(TokenKind.FLOAT_LIT, float(text), loc)
+            except ValueError:
+                raise LexError(f"invalid float literal {text!r}", loc) from None
+        try:
+            return Token(TokenKind.INT_LIT, int(text), loc)
+        except ValueError:
+            raise LexError(f"invalid integer literal {text!r}", loc) from None
+
+    def tokens(self) -> list[Token]:
+        """Lex the entire input and return the token list (EOF-terminated)."""
+        out: list[Token] = []
+        while True:
+            self._skip_trivia()
+            if self.pos >= len(self.src):
+                out.append(Token(TokenKind.EOF, None, self._loc()))
+                return out
+            loc = self._loc()
+            ch = self._peek()
+            if ch.isdigit() or (ch == "." and self._peek(1).isdigit()):
+                out.append(self._lex_number())
+                continue
+            if ch.isalpha() or ch == "_":
+                start = self.pos
+                while self.pos < len(self.src) and (
+                    self._peek().isalnum() or self._peek() == "_"
+                ):
+                    self._advance()
+                text = self.src[start : self.pos]
+                kw = KEYWORDS.get(text)
+                if kw is not None:
+                    out.append(Token(kw, None, loc))
+                else:
+                    out.append(Token(TokenKind.IDENT, text, loc))
+                continue
+            pair = self.src[self.pos : self.pos + 2]
+            if pair in _PUNCT2:
+                self._advance(2)
+                out.append(Token(_PUNCT2[pair], None, loc))
+                continue
+            if ch in _PUNCT1:
+                self._advance()
+                out.append(Token(_PUNCT1[ch], None, loc))
+                continue
+            raise LexError(f"unexpected character {ch!r}", loc)
+
+
+def tokenize(source: str, filename: str = "<input>") -> list[Token]:
+    """Convenience wrapper: lex ``source`` into a token list."""
+    return Lexer(source, filename).tokens()

@@ -1,0 +1,476 @@
+"""Recursive-descent parser for the restricted parallel-C language.
+
+Grammar summary (see DESIGN.md for the language rationale)::
+
+    program    := (structdef | globaldecl | funcdef)*
+    structdef  := "struct" IDENT "{" (typespec declarator ";")* "}" ";"
+    typespec   := "int" | "double" | "void" | "lock_t" | "struct" IDENT
+    declarator := "*"* IDENT ("[" INT_LIT "]")*
+    funcdef    := typespec "*"* IDENT "(" params? ")" block
+    block      := "{" (vardecl | stmt)* "}"
+    stmt       := ";" | block | if | while | for
+                | "return" expr? ";" | "break" ";" | "continue" ";"
+                | simple ";"
+    simple     := lvalue ("=" | "+=" | "-=" | "*=" | "/=") expr
+                | lvalue "++" | lvalue "--"
+                | expr
+
+Expressions use the usual C precedence for the supported operators.
+Struct types may be referenced before their definition appears only in
+pointer declarators (as in C); all struct bodies are resolved by the
+parser in a second pass, so the emitted AST carries fully laid-out
+:class:`~repro.lang.ctypes.StructType` objects.
+"""
+
+from __future__ import annotations
+
+from repro.errors import ParseError
+from repro.lang import astnodes as A
+from repro.lang import ctypes as T
+from repro.lang.lexer import tokenize
+from repro.lang.tokens import Token, TokenKind as K
+
+_ASSIGN_OPS = {
+    K.ASSIGN: "",
+    K.PLUS_ASSIGN: "+",
+    K.MINUS_ASSIGN: "-",
+    K.STAR_ASSIGN: "*",
+    K.SLASH_ASSIGN: "/",
+}
+
+_TYPE_STARTERS = (K.KW_INT, K.KW_DOUBLE, K.KW_VOID, K.KW_LOCK, K.KW_STRUCT)
+
+
+def _require_lvalue(expr: A.Expr) -> None:
+    """Syntactic lvalue check; the semantic checker validates typing."""
+    ok = isinstance(expr, (A.Ident, A.Index, A.Member)) or (
+        isinstance(expr, A.UnOp) and expr.op == "*"
+    )
+    if not ok:
+        raise ParseError("assignment target is not an lvalue", expr.loc)
+
+
+class _PendingStruct(T.CType):
+    """Placeholder for a struct named before its body is known.  Only
+    legal behind a pointer; patched in :meth:`Parser._resolve_types`."""
+
+    def __init__(self, name: str):
+        self.name = name
+
+    @property
+    def size(self) -> int:
+        raise ParseError(
+            f"struct {self.name!r} used by value before its definition"
+        )
+
+    @property
+    def align(self) -> int:
+        raise ParseError(
+            f"struct {self.name!r} used by value before its definition"
+        )
+
+    def __str__(self) -> str:  # pragma: no cover - debug only
+        return f"struct {self.name} /*pending*/"
+
+
+class Parser:
+    def __init__(self, tokens: list[Token]):
+        self.toks = tokens
+        self.pos = 0
+        self.structs: dict[str, T.StructType] = {}
+        self._pending: list[_PendingStruct] = []
+
+    # -- token helpers -----------------------------------------------------
+
+    def _peek(self, off: int = 0) -> Token:
+        p = min(self.pos + off, len(self.toks) - 1)
+        return self.toks[p]
+
+    def _at(self, kind: K) -> bool:
+        return self._peek().kind is kind
+
+    def _accept(self, kind: K) -> Token | None:
+        if self._at(kind):
+            tok = self.toks[self.pos]
+            self.pos += 1
+            return tok
+        return None
+
+    def _expect(self, kind: K, what: str = "") -> Token:
+        tok = self._accept(kind)
+        if tok is None:
+            cur = self._peek()
+            msg = what or f"expected {kind.name}, found {cur}"
+            raise ParseError(msg, cur.loc)
+        return tok
+
+    # -- types -------------------------------------------------------------
+
+    def _at_typespec(self) -> bool:
+        return self._peek().kind in _TYPE_STARTERS
+
+    def _parse_typespec(self) -> T.CType:
+        tok = self._peek()
+        if self._accept(K.KW_INT):
+            return T.INT
+        if self._accept(K.KW_DOUBLE):
+            return T.DOUBLE
+        if self._accept(K.KW_VOID):
+            return T.VOID
+        if self._accept(K.KW_LOCK):
+            return T.LOCK
+        if self._accept(K.KW_STRUCT):
+            name_tok = self._expect(K.IDENT, "expected struct name")
+            name = str(name_tok.value)
+            st = self.structs.get(name)
+            if st is not None:
+                return st
+            pending = _PendingStruct(name)
+            self._pending.append(pending)
+            return pending
+        raise ParseError(f"expected a type, found {tok}", tok.loc)
+
+    def _parse_declarator(self, base: T.CType) -> tuple[str, T.CType]:
+        """Parse ``"*"* IDENT ("[" INT "]")*`` and return (name, type)."""
+        ty = base
+        while self._accept(K.STAR):
+            ty = T.PointerType(ty)
+        name_tok = self._expect(K.IDENT, "expected identifier in declarator")
+        dims: list[int] = []
+        while self._accept(K.LBRACKET):
+            dim_tok = self._expect(K.INT_LIT, "array dimension must be an integer literal")
+            dims.append(int(dim_tok.value))
+            self._expect(K.RBRACKET)
+        if dims:
+            ty = T.ArrayType(ty, tuple(dims))
+        return str(name_tok.value), ty
+
+    # -- top level ---------------------------------------------------------
+
+    def parse_program(self) -> A.Program:
+        prog = A.Program(loc=self._peek().loc)
+        while not self._at(K.EOF):
+            if self._at(K.KW_STRUCT) and self._peek(1).kind is K.IDENT and self._peek(2).kind is K.LBRACE:
+                prog.structs.append(self._parse_structdef())
+                continue
+            loc = self._peek().loc
+            base = self._parse_typespec()
+            # Distinguish function definition from global declaration by
+            # looking past pointer stars and the identifier.
+            save = self.pos
+            stars = 0
+            while self._accept(K.STAR):
+                stars += 1
+            name_tok = self._expect(K.IDENT, "expected identifier at top level")
+            if self._at(K.LPAREN):
+                self.pos = save
+                prog.funcs.append(self._parse_funcdef(base, loc))
+            else:
+                self.pos = save
+                for decl in self._parse_decl_list(base, is_global=True, loc=loc):
+                    prog.globals.append(decl)
+        self._resolve_types(prog)
+        return prog
+
+    def _parse_structdef(self) -> A.StructDef:
+        loc = self._peek().loc
+        self._expect(K.KW_STRUCT)
+        name = str(self._expect(K.IDENT).value)
+        self._expect(K.LBRACE)
+        members: list[tuple[str, T.CType]] = []
+        while not self._accept(K.RBRACE):
+            base = self._parse_typespec()
+            while True:
+                mname, mty = self._parse_declarator(base)
+                members.append((mname, mty))
+                if not self._accept(K.COMMA):
+                    break
+            self._expect(K.SEMI)
+        self._expect(K.SEMI, "expected ';' after struct definition")
+        if name in self.structs:
+            raise ParseError(f"duplicate struct definition {name!r}", loc)
+        st = T.layout_struct(name, members)
+        self.structs[name] = st
+        return A.StructDef(name=name, members=members, loc=loc)
+
+    def _parse_decl_list(self, base: T.CType, is_global: bool, loc) -> list[A.VarDecl]:
+        decls: list[A.VarDecl] = []
+        while True:
+            name, ty = self._parse_declarator(base)
+            init = None
+            if self._accept(K.ASSIGN):
+                init = self._parse_expr()
+            decls.append(A.VarDecl(name=name, type=ty, init=init, is_global=is_global, loc=loc))
+            if not self._accept(K.COMMA):
+                break
+        self._expect(K.SEMI, "expected ';' after declaration")
+        return decls
+
+    def _parse_funcdef(self, base: T.CType, loc) -> A.FuncDef:
+        ty: T.CType = base
+        while self._accept(K.STAR):
+            ty = T.PointerType(ty)
+        name = str(self._expect(K.IDENT).value)
+        self._expect(K.LPAREN)
+        params: list[A.Param] = []
+        if not self._at(K.RPAREN):
+            while True:
+                ploc = self._peek().loc
+                pbase = self._parse_typespec()
+                pname, pty = self._parse_declarator(pbase)
+                params.append(A.Param(name=pname, type=pty, loc=ploc))
+                if not self._accept(K.COMMA):
+                    break
+        self._expect(K.RPAREN)
+        body = self._parse_block()
+        return A.FuncDef(name=name, ret=ty, params=params, body=body, loc=loc)
+
+    # -- statements ----------------------------------------------------------
+
+    def _parse_block(self) -> A.Block:
+        loc = self._expect(K.LBRACE).loc
+        body: list[A.Stmt] = []
+        while not self._accept(K.RBRACE):
+            if self._at(K.EOF):
+                raise ParseError("unterminated block", loc)
+            if self._at_typespec():
+                dloc = self._peek().loc
+                base = self._parse_typespec()
+                body.extend(self._parse_decl_list(base, is_global=False, loc=dloc))
+            else:
+                body.append(self._parse_stmt())
+        return A.Block(body=body, loc=loc)
+
+    def _parse_stmt(self) -> A.Stmt:
+        tok = self._peek()
+        if self._accept(K.SEMI):
+            return A.Block(body=[], loc=tok.loc)
+        if self._at(K.LBRACE):
+            return self._parse_block()
+        if self._accept(K.KW_IF):
+            self._expect(K.LPAREN)
+            cond = self._parse_expr()
+            self._expect(K.RPAREN)
+            then = self._parse_stmt()
+            orelse = self._parse_stmt() if self._accept(K.KW_ELSE) else None
+            return A.If(cond=cond, then=then, orelse=orelse, loc=tok.loc)
+        if self._accept(K.KW_WHILE):
+            self._expect(K.LPAREN)
+            cond = self._parse_expr()
+            self._expect(K.RPAREN)
+            body = self._parse_stmt()
+            return A.While(cond=cond, body=body, loc=tok.loc)
+        if self._accept(K.KW_FOR):
+            self._expect(K.LPAREN)
+            init = None if self._at(K.SEMI) else self._parse_simple()
+            self._expect(K.SEMI)
+            cond = None if self._at(K.SEMI) else self._parse_expr()
+            self._expect(K.SEMI)
+            update = None if self._at(K.RPAREN) else self._parse_simple()
+            self._expect(K.RPAREN)
+            body = self._parse_stmt()
+            return A.For(init=init, cond=cond, update=update, body=body, loc=tok.loc)
+        if self._accept(K.KW_RETURN):
+            value = None if self._at(K.SEMI) else self._parse_expr()
+            self._expect(K.SEMI)
+            return A.Return(value=value, loc=tok.loc)
+        if self._accept(K.KW_BREAK):
+            self._expect(K.SEMI)
+            return A.Break(loc=tok.loc)
+        if self._accept(K.KW_CONTINUE):
+            self._expect(K.SEMI)
+            return A.Continue(loc=tok.loc)
+        stmt = self._parse_simple()
+        self._expect(K.SEMI, "expected ';' after statement")
+        return stmt
+
+    def _parse_simple(self) -> A.Stmt:
+        """An assignment, increment/decrement, or bare expression."""
+        loc = self._peek().loc
+        expr = self._parse_expr()
+        kind = self._peek().kind
+        if kind in _ASSIGN_OPS:
+            self.pos += 1
+            _require_lvalue(expr)
+            value = self._parse_expr()
+            return A.Assign(target=expr, value=value, op=_ASSIGN_OPS[kind], loc=loc)
+        if self._accept(K.PLUSPLUS):
+            _require_lvalue(expr)
+            return A.Assign(target=expr, value=A.IntLit(value=1, loc=loc), op="+", loc=loc)
+        if self._accept(K.MINUSMINUS):
+            _require_lvalue(expr)
+            return A.Assign(target=expr, value=A.IntLit(value=1, loc=loc), op="-", loc=loc)
+        return A.ExprStmt(expr=expr, loc=loc)
+
+    # -- expressions ---------------------------------------------------------
+
+    def _parse_expr(self) -> A.Expr:
+        return self._parse_oror()
+
+    def _binop_level(self, sub, table: dict[K, str]) -> A.Expr:
+        left = sub()
+        while self._peek().kind in table:
+            tok = self.toks[self.pos]
+            self.pos += 1
+            right = sub()
+            left = A.BinOp(op=table[tok.kind], left=left, right=right, loc=tok.loc)
+        return left
+
+    def _parse_oror(self) -> A.Expr:
+        return self._binop_level(self._parse_andand, {K.OROR: "||"})
+
+    def _parse_andand(self) -> A.Expr:
+        return self._binop_level(self._parse_equality, {K.ANDAND: "&&"})
+
+    def _parse_equality(self) -> A.Expr:
+        return self._binop_level(self._parse_relational, {K.EQ: "==", K.NE: "!="})
+
+    def _parse_relational(self) -> A.Expr:
+        return self._binop_level(
+            self._parse_additive,
+            {K.LT: "<", K.LE: "<=", K.GT: ">", K.GE: ">="},
+        )
+
+    def _parse_additive(self) -> A.Expr:
+        return self._binop_level(self._parse_multiplicative, {K.PLUS: "+", K.MINUS: "-"})
+
+    def _parse_multiplicative(self) -> A.Expr:
+        return self._binop_level(self._parse_unary, {K.STAR: "*", K.SLASH: "/", K.PERCENT: "%"})
+
+    def _parse_unary(self) -> A.Expr:
+        tok = self._peek()
+        if self._accept(K.MINUS):
+            return A.UnOp(op="-", operand=self._parse_unary(), loc=tok.loc)
+        if self._accept(K.NOT):
+            return A.UnOp(op="!", operand=self._parse_unary(), loc=tok.loc)
+        if self._accept(K.STAR):
+            return A.UnOp(op="*", operand=self._parse_unary(), loc=tok.loc)
+        if self._accept(K.AMP):
+            return A.UnOp(op="&", operand=self._parse_unary(), loc=tok.loc)
+        return self._parse_postfix()
+
+    def _parse_postfix(self) -> A.Expr:
+        expr = self._parse_primary()
+        while True:
+            tok = self._peek()
+            if self._accept(K.LBRACKET):
+                index = self._parse_expr()
+                self._expect(K.RBRACKET)
+                expr = A.Index(base=expr, index=index, loc=tok.loc)
+            elif self._accept(K.DOT):
+                name = str(self._expect(K.IDENT).value)
+                expr = A.Member(base=expr, name=name, arrow=False, loc=tok.loc)
+            elif self._accept(K.ARROW):
+                name = str(self._expect(K.IDENT).value)
+                expr = A.Member(base=expr, name=name, arrow=True, loc=tok.loc)
+            else:
+                return expr
+
+    def _parse_primary(self) -> A.Expr:
+        tok = self._peek()
+        if tok.kind is K.INT_LIT:
+            self.pos += 1
+            return A.IntLit(value=int(tok.value), loc=tok.loc)
+        if tok.kind is K.FLOAT_LIT:
+            self.pos += 1
+            return A.FloatLit(value=float(tok.value), loc=tok.loc)
+        if self._accept(K.LPAREN):
+            expr = self._parse_expr()
+            self._expect(K.RPAREN)
+            return expr
+        if tok.kind is K.IDENT:
+            name = str(tok.value)
+            if name in ("alloc", "alloc_array") and self._peek(1).kind is K.LPAREN:
+                return self._parse_alloc(name)
+            self.pos += 1
+            if self._accept(K.LPAREN):
+                args: list[A.Expr] = []
+                if not self._at(K.RPAREN):
+                    while True:
+                        args.append(self._parse_expr())
+                        if not self._accept(K.COMMA):
+                            break
+                self._expect(K.RPAREN)
+                return A.Call(name=name, args=args, loc=tok.loc)
+            return A.Ident(name=name, loc=tok.loc)
+        raise ParseError(f"expected an expression, found {tok}", tok.loc)
+
+    def _parse_alloc(self, which: str) -> A.Expr:
+        loc = self._peek().loc
+        self.pos += 1  # the 'alloc' / 'alloc_array' identifier
+        self._expect(K.LPAREN)
+        ty = self._parse_typespec()
+        count = None
+        if which == "alloc_array":
+            self._expect(K.COMMA)
+            count = self._parse_expr()
+        self._expect(K.RPAREN)
+        node = A.Alloc(type_name=str(ty), elem_type=ty, count=count, loc=loc)
+        return node
+
+    # -- pending struct resolution --------------------------------------------
+
+    def _resolve_types(self, prog: A.Program) -> None:
+        """Patch any ``struct X`` references that appeared before the
+        definition of ``X``.  Because :class:`_PendingStruct` instances are
+        shared placeholders wrapped in immutable types, we rebuild the
+        affected types in place across the whole AST."""
+        if not self._pending:
+            return
+        unresolved = [p for p in self._pending if p.name not in self.structs]
+        if unresolved:
+            raise ParseError(
+                f"struct {unresolved[0].name!r} referenced but never defined",
+                prog.loc,
+            )
+
+        def fix(ty: T.CType) -> T.CType:
+            if isinstance(ty, _PendingStruct):
+                return self.structs[ty.name]
+            if isinstance(ty, T.StructType):
+                # use the (possibly re-laid) canonical definition
+                return self.structs.get(ty.name, ty)
+            if isinstance(ty, T.PointerType):
+                inner = fix(ty.target)
+                return ty if inner is ty.target else T.PointerType(inner)
+            if isinstance(ty, T.ArrayType):
+                inner = fix(ty.elem)
+                return ty if inner is ty.elem else T.ArrayType(inner, ty.dims)
+            return ty
+
+        # Struct bodies were laid out at definition time; a pending pointer
+        # target inside a struct body must be patched and the struct re-laid
+        # (pointer size is independent of the target, so offsets are stable).
+        for name, st in list(self.structs.items()):
+            members = [(f.name, fix(f.type)) for f in st.fields]
+            if any(m[1] is not f.type for m, f in zip(members, st.fields)):
+                self.structs[name] = T.layout_struct(name, members)
+        # Re-fix in case a struct object itself was rebuilt above.
+        for sd in prog.structs:
+            sd.members = [(n, fix(t)) for n, t in sd.members]
+        for g in prog.globals:
+            g.type = fix(g.type)
+        for fn in prog.funcs:
+            fn.ret = fix(fn.ret)
+            for p in fn.params:
+                p.type = fix(p.type)
+            for stmt in A.walk_stmts(fn.body):
+                if isinstance(stmt, A.VarDecl):
+                    stmt.type = fix(stmt.type)
+            for e in A.walk_all_exprs(fn.body):
+                if isinstance(e, A.Alloc) and e.elem_type is not None:
+                    e.elem_type = fix(e.elem_type)
+
+
+def parse(source: str, filename: str = "<input>") -> A.Program:
+    """Parse ``source`` into a :class:`~repro.lang.astnodes.Program`."""
+    return Parser(tokenize(source, filename)).parse_program()
+
+
+def parse_expression(text: str, filename: str = "<expr>") -> A.Expr:
+    """Parse a standalone expression (used by the source rewriter to
+    synthesize fresh AST fragments)."""
+    p = Parser(tokenize(text, filename))
+    expr = p._parse_expr()
+    p._expect(K.EOF, "trailing tokens after expression")
+    return expr

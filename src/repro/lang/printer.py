@@ -1,0 +1,181 @@
+"""Pretty-printer: AST back to parallel-C source.
+
+Used for the source-to-source view of transformed programs and for
+round-trip testing (parse → print → parse yields an equivalent AST).
+"""
+
+from __future__ import annotations
+
+from repro.lang import astnodes as A
+from repro.lang import ctypes as T
+
+_PRECEDENCE = {
+    "||": 1,
+    "&&": 2,
+    "==": 3,
+    "!=": 3,
+    "<": 4,
+    "<=": 4,
+    ">": 4,
+    ">=": 4,
+    "+": 5,
+    "-": 5,
+    "*": 6,
+    "/": 6,
+    "%": 6,
+}
+_UNARY_PREC = 7
+
+
+def type_prefix_suffix(ty: T.CType) -> tuple[str, str]:
+    """Split a type into the declaration prefix (base + stars) and suffix
+    (array dimensions): ``int *x[4]`` → ("int *", "[4]")."""
+    suffix = ""
+    while isinstance(ty, T.ArrayType):
+        suffix += "".join(f"[{d}]" for d in ty.dims)
+        ty = ty.elem
+    stars = ""
+    while isinstance(ty, T.PointerType):
+        stars += "*"
+        ty = ty.target
+    return f"{ty} {stars}", suffix
+
+
+def format_decl(name: str, ty: T.CType) -> str:
+    prefix, suffix = type_prefix_suffix(ty)
+    return f"{prefix}{name}{suffix}"
+
+
+def format_expr(e: A.Expr, parent_prec: int = 0) -> str:
+    if isinstance(e, A.IntLit):
+        return str(e.value)
+    if isinstance(e, A.FloatLit):
+        text = repr(e.value)
+        return text if ("." in text or "e" in text or "inf" in text) else text + ".0"
+    if isinstance(e, A.Ident):
+        return e.name
+    if isinstance(e, A.BinOp):
+        prec = _PRECEDENCE[e.op]
+        text = f"{format_expr(e.left, prec)} {e.op} {format_expr(e.right, prec + 1)}"
+        return f"({text})" if prec < parent_prec else text
+    if isinstance(e, A.UnOp):
+        inner = format_expr(e.operand, _UNARY_PREC)
+        text = f"{e.op}{inner}"
+        return f"({text})" if _UNARY_PREC < parent_prec else text
+    if isinstance(e, A.Index):
+        return f"{format_expr(e.base, _UNARY_PREC + 1)}[{format_expr(e.index)}]"
+    if isinstance(e, A.Member):
+        op = "->" if e.arrow else "."
+        return f"{format_expr(e.base, _UNARY_PREC + 1)}{op}{e.name}"
+    if isinstance(e, A.Call):
+        args = ", ".join(format_expr(a) for a in e.args)
+        return f"{e.name}({args})"
+    if isinstance(e, A.Alloc):
+        if e.count is not None:
+            return f"alloc_array({e.type_name}, {format_expr(e.count)})"
+        return f"alloc({e.type_name})"
+    raise TypeError(f"cannot print {type(e).__name__}")  # pragma: no cover
+
+
+class Printer:
+    def __init__(self, indent: str = "    "):
+        self.indent = indent
+        self.lines: list[str] = []
+        self.depth = 0
+
+    def _emit(self, text: str) -> None:
+        self.lines.append(self.indent * self.depth + text)
+
+    # -- statements --------------------------------------------------------
+
+    def _simple_stmt_text(self, stmt: A.Stmt) -> str:
+        if isinstance(stmt, A.Assign):
+            return f"{format_expr(stmt.target)} {stmt.op}= {format_expr(stmt.value)}"
+        if isinstance(stmt, A.ExprStmt):
+            return format_expr(stmt.expr)
+        if isinstance(stmt, A.VarDecl):
+            text = format_decl(stmt.name, stmt.type)
+            if stmt.init is not None:
+                text += f" = {format_expr(stmt.init)}"
+            return text
+        raise TypeError(f"not a simple statement: {type(stmt).__name__}")
+
+    def stmt(self, s: A.Stmt) -> None:
+        if isinstance(s, A.Block):
+            self._emit("{")
+            self.depth += 1
+            for inner in s.body:
+                self.stmt(inner)
+            self.depth -= 1
+            self._emit("}")
+        elif isinstance(s, (A.Assign, A.ExprStmt, A.VarDecl)):
+            self._emit(self._simple_stmt_text(s) + ";")
+        elif isinstance(s, A.If):
+            self._emit(f"if ({format_expr(s.cond)})")
+            self._branch_body(s.then)
+            if s.orelse is not None:
+                self._emit("else")
+                self._branch_body(s.orelse)
+        elif isinstance(s, A.While):
+            self._emit(f"while ({format_expr(s.cond)})")
+            self._branch_body(s.body)
+        elif isinstance(s, A.For):
+            init = self._simple_stmt_text(s.init) if s.init is not None else ""
+            cond = format_expr(s.cond) if s.cond is not None else ""
+            update = self._simple_stmt_text(s.update) if s.update is not None else ""
+            self._emit(f"for ({init}; {cond}; {update})")
+            self._branch_body(s.body)
+        elif isinstance(s, A.Return):
+            if s.value is None:
+                self._emit("return;")
+            else:
+                self._emit(f"return {format_expr(s.value)};")
+        elif isinstance(s, A.Break):
+            self._emit("break;")
+        elif isinstance(s, A.Continue):
+            self._emit("continue;")
+        else:  # pragma: no cover
+            raise TypeError(f"cannot print {type(s).__name__}")
+
+    def _branch_body(self, body: A.Stmt) -> None:
+        if isinstance(body, A.Block):
+            self.stmt(body)
+        else:
+            self.depth += 1
+            self.stmt(body)
+            self.depth -= 1
+
+    # -- top level -----------------------------------------------------------
+
+    def program(self, prog: A.Program) -> str:
+        for sd in prog.structs:
+            self._emit(f"struct {sd.name} {{")
+            self.depth += 1
+            for name, ty in sd.members:
+                self._emit(format_decl(name, ty) + ";")
+            self.depth -= 1
+            self._emit("};")
+            self._emit("")
+        for g in prog.globals:
+            self._emit(format_decl(g.name, g.type) + ";")
+        if prog.globals:
+            self._emit("")
+        for fn in prog.funcs:
+            params = ", ".join(format_decl(p.name, p.type) for p in fn.params)
+            prefix, suffix = type_prefix_suffix(fn.ret)
+            assert not suffix, "functions cannot return arrays"
+            self._emit(f"{prefix}{fn.name}({params})")
+            self.stmt(fn.body)
+            self._emit("")
+        return "\n".join(self.lines).rstrip() + "\n"
+
+
+def to_source(node: A.Program | A.Stmt | A.Expr) -> str:
+    """Render an AST node back to source text."""
+    if isinstance(node, A.Program):
+        return Printer().program(node)
+    if isinstance(node, A.Expr):
+        return format_expr(node)
+    p = Printer()
+    p.stmt(node)
+    return "\n".join(p.lines) + "\n"

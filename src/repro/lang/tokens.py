@@ -1,0 +1,106 @@
+"""Token definitions for the restricted parallel-C language.
+
+The language (informally "PCL") is the subset of C that the paper's model
+(section 2) assumes: coarse-grained explicitly parallel SPMD programs with
+restricted pointers, global shared data, and fork/join process creation via
+a ``create()`` primitive.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum, auto
+
+from repro.errors import SourceLocation
+
+
+class TokenKind(Enum):
+    """Lexical classes produced by :class:`repro.lang.lexer.Lexer`."""
+
+    # Literals and identifiers
+    INT_LIT = auto()
+    FLOAT_LIT = auto()
+    IDENT = auto()
+    # Keywords
+    KW_INT = auto()
+    KW_DOUBLE = auto()
+    KW_VOID = auto()
+    KW_LOCK = auto()       # lock_t
+    KW_STRUCT = auto()
+    KW_IF = auto()
+    KW_ELSE = auto()
+    KW_WHILE = auto()
+    KW_FOR = auto()
+    KW_RETURN = auto()
+    KW_BREAK = auto()
+    KW_CONTINUE = auto()
+    # Punctuation
+    LPAREN = auto()
+    RPAREN = auto()
+    LBRACE = auto()
+    RBRACE = auto()
+    LBRACKET = auto()
+    RBRACKET = auto()
+    SEMI = auto()
+    COMMA = auto()
+    DOT = auto()
+    ARROW = auto()
+    # Operators
+    ASSIGN = auto()        # =
+    PLUS_ASSIGN = auto()   # +=
+    MINUS_ASSIGN = auto()  # -=
+    STAR_ASSIGN = auto()   # *=
+    SLASH_ASSIGN = auto()  # /=
+    PLUS = auto()
+    MINUS = auto()
+    STAR = auto()
+    SLASH = auto()
+    PERCENT = auto()
+    AMP = auto()           # address-of (no bitwise-and in the subset)
+    NOT = auto()           # !
+    EQ = auto()            # ==
+    NE = auto()            # !=
+    LT = auto()
+    LE = auto()
+    GT = auto()
+    GE = auto()
+    ANDAND = auto()        # &&
+    OROR = auto()          # ||
+    PLUSPLUS = auto()      # ++
+    MINUSMINUS = auto()    # --
+    EOF = auto()
+
+
+#: Reserved words mapped to their token kinds.
+KEYWORDS: dict[str, TokenKind] = {
+    "int": TokenKind.KW_INT,
+    "double": TokenKind.KW_DOUBLE,
+    "void": TokenKind.KW_VOID,
+    "lock_t": TokenKind.KW_LOCK,
+    "struct": TokenKind.KW_STRUCT,
+    "if": TokenKind.KW_IF,
+    "else": TokenKind.KW_ELSE,
+    "while": TokenKind.KW_WHILE,
+    "for": TokenKind.KW_FOR,
+    "return": TokenKind.KW_RETURN,
+    "break": TokenKind.KW_BREAK,
+    "continue": TokenKind.KW_CONTINUE,
+}
+
+
+@dataclass(frozen=True, slots=True)
+class Token:
+    """A single lexical token.
+
+    ``value`` holds the identifier spelling or the numeric literal value
+    (``int`` or ``float``); it is ``None`` for punctuation/keywords.
+    """
+
+    kind: TokenKind
+    value: object
+    loc: SourceLocation
+
+    def __str__(self) -> str:
+        if self.value is not None:
+            return f"{self.kind.name}({self.value})"
+        return self.kind.name

@@ -1,0 +1,26 @@
+"""Memory layout engine: maps logical shared data to physical addresses
+under the unoptimized C layout or a transformed layout."""
+
+from repro.layout.datalayout import (
+    ARENA_BASE,
+    ARENA_STRIDE,
+    BARRIER_ADDR,
+    GLOBALS_BASE,
+    GROUP_BASE,
+    HEAP_BASE,
+    SYNC_BASE,
+    DataLayout,
+    GlobalInfo,
+)
+
+__all__ = [
+    "ARENA_BASE",
+    "ARENA_STRIDE",
+    "BARRIER_ADDR",
+    "GLOBALS_BASE",
+    "GROUP_BASE",
+    "HEAP_BASE",
+    "SYNC_BASE",
+    "DataLayout",
+    "GlobalInfo",
+]

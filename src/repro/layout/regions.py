@@ -1,0 +1,88 @@
+"""Reverse address mapping: which data structure owns an address?
+
+Used to validate that the static analysis pinpoints the structures
+responsible for false sharing (the paper compares its per-structure
+analysis against simulation profiles showing "the number of false
+sharing misses per data structure") and to produce per-structure miss
+attributions in reports.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_right
+from dataclasses import dataclass
+
+from repro.layout.datalayout import (
+    ARENA_BASE,
+    ARENA_STRIDE,
+    GROUP_BASE,
+    HEAP_BASE,
+    SYNC_BASE,
+    DataLayout,
+)
+
+
+@dataclass(slots=True)
+class Segment:
+    start: int
+    size: int
+    name: str
+
+    @property
+    def end(self) -> int:
+        return self.start + self.size
+
+
+class RegionMap:
+    """Sorted-interval lookup from address to data-structure name."""
+
+    def __init__(self, segments: list[Segment]):
+        segs = sorted(segments, key=lambda s: s.start)
+        merged: list[Segment] = []
+        for s in segs:
+            if merged and merged[-1].name == s.name and merged[-1].end >= s.start:
+                merged[-1] = Segment(
+                    merged[-1].start,
+                    max(merged[-1].end, s.end) - merged[-1].start,
+                    s.name,
+                )
+            else:
+                merged.append(s)
+        self.segments = merged
+        self._starts = [s.start for s in merged]
+
+    def name_of(self, addr: int) -> str:
+        if addr >= SYNC_BASE:
+            return "(sync)"
+        if ARENA_BASE <= addr < ARENA_BASE + 130 * ARENA_STRIDE:
+            pid = (addr - ARENA_BASE) // ARENA_STRIDE - 1
+            return f"(arena:{pid})"
+        i = bisect_right(self._starts, addr) - 1
+        if i >= 0:
+            seg = self.segments[i]
+            if seg.start <= addr < seg.end:
+                return seg.name
+        if addr >= HEAP_BASE:
+            return "(heap)"
+        if addr >= GROUP_BASE:
+            return "(group)"
+        return "(unknown)"
+
+
+def build_region_map(
+    layout: DataLayout,
+    heap_segments: list[tuple[int, int, str]] | None = None,
+) -> RegionMap:
+    """Build the reverse map for a layout, optionally including the heap
+    segments the interpreter recorded at alloc() time."""
+    segs: list[Segment] = []
+    for name, info in layout.globals.items():
+        segs.append(Segment(info.base, info.size, name))
+    for (base, path), amap in layout._group_addr.items():
+        label = base + "".join(f".{p}" for p in path)
+        esize = layout._member_elem_size(base, path)
+        for addr in amap.values():
+            segs.append(Segment(addr, esize, label))
+    for addr, size, label in heap_segments or []:
+        segs.append(Segment(addr, size, label))
+    return RegionMap(segs)

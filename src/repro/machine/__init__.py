@@ -1,0 +1,28 @@
+"""KSR2 timing model and speedup-curve machinery (the paper's
+execution-time experiments, section 5)."""
+
+from repro.machine.ksr2 import (
+    KSR2Config,
+    TimingResult,
+    base_latency,
+    execution_time,
+    time_run,
+)
+from repro.machine.speedup import (
+    DEFAULT_PROC_COUNTS,
+    SpeedupCurve,
+    build_curve,
+    improvement_while_scaling,
+)
+
+__all__ = [
+    "KSR2Config",
+    "TimingResult",
+    "base_latency",
+    "execution_time",
+    "time_run",
+    "DEFAULT_PROC_COUNTS",
+    "SpeedupCurve",
+    "build_curve",
+    "improvement_while_scaling",
+]

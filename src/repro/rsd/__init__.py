@@ -1,0 +1,37 @@
+"""Bounded regular section descriptors [HK91]: the array-section
+representation used by the summary side-effect analysis, with the
+merging policy and PDV-disjointness tests from the paper's section 3.1."""
+
+from repro.rsd.descriptor import RSD, Elem, Point, Range, UNKNOWN, Unknown
+from repro.rsd.expr import PDV, Affine
+from repro.rsd.ops import (
+    MAX_DESCRIPTORS,
+    add_descriptor,
+    ap_intersect,
+    disjoint_across_pdv,
+    merge_elems,
+    merge_rsds,
+    owner_of,
+    project_loops,
+    sections_intersect,
+)
+
+__all__ = [
+    "RSD",
+    "Elem",
+    "Point",
+    "Range",
+    "UNKNOWN",
+    "Unknown",
+    "PDV",
+    "Affine",
+    "MAX_DESCRIPTORS",
+    "add_descriptor",
+    "ap_intersect",
+    "disjoint_across_pdv",
+    "merge_elems",
+    "merge_rsds",
+    "owner_of",
+    "project_loops",
+    "sections_intersect",
+]

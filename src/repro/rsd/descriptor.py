@@ -1,0 +1,171 @@
+"""Bounded regular section descriptors (RSDs).
+
+An RSD is "a vector of subscript positions in which each element
+describes the accessed portion of the array in that dimension.  Each
+element is either a simple, invariant expression ..., a range (giving
+simple, invariant expressions for the lower bound, upper bound and
+stride), or unknown" [HK91, quoted in the paper, section 3.1].
+
+Here the "simple, invariant expressions" are :class:`~repro.rsd.expr.Affine`
+forms whose only remaining free symbol is the PDV — loop induction
+variables have been projected into ranges by the time descriptors enter
+the per-function summaries.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Union
+
+from repro.rsd.expr import PDV, Affine
+
+
+@dataclass(frozen=True)
+class Point:
+    """A single subscript value."""
+
+    value: Affine
+
+    @property
+    def depends_on_pdv(self) -> bool:
+        return self.value.depends_on_pdv
+
+    def instantiate(self, pdv: int) -> tuple[int, int, int]:
+        v = self.value.value({PDV: pdv})
+        return (v, v, 1)
+
+    def __str__(self) -> str:
+        return str(self.value)
+
+
+@dataclass(frozen=True)
+class Range:
+    """An arithmetic progression ``lo, lo+stride, ..., <= hi``.
+
+    ``lo`` and ``hi`` may be affine in the PDV; ``stride`` is a positive
+    integer constant.  Unknown strides are represented by stride 1 over a
+    conservative [lo, hi] (the paper's "stride unknown" case maps to
+    :class:`Unknown` when even bounds are unavailable).
+    """
+
+    lo: Affine
+    hi: Affine
+    stride: int = 1
+
+    def __post_init__(self):
+        if self.stride <= 0:
+            raise ValueError("stride must be positive")
+
+    @property
+    def depends_on_pdv(self) -> bool:
+        return self.lo.depends_on_pdv or self.hi.depends_on_pdv
+
+    @property
+    def count(self) -> Optional[int]:
+        """Number of elements if bounds differ by a constant, else None."""
+        span = self.hi - self.lo
+        if not span.is_constant:
+            return None
+        if span.const < 0:
+            return 0
+        return span.const // self.stride + 1
+
+    def instantiate(self, pdv: int) -> tuple[int, int, int]:
+        lo = self.lo.value({PDV: pdv})
+        hi = self.hi.value({PDV: pdv})
+        return (lo, hi, self.stride)
+
+    def __str__(self) -> str:
+        return f"{self.lo}:{self.hi}:{self.stride}"
+
+
+class Unknown:
+    """Subscript too complex or variable for the analysis."""
+
+    _instance: Optional["Unknown"] = None
+
+    def __new__(cls) -> "Unknown":
+        if cls._instance is None:
+            cls._instance = super().__new__(cls)
+        return cls._instance
+
+    depends_on_pdv = False
+
+    def __str__(self) -> str:
+        return "?"
+
+    def __repr__(self) -> str:
+        return "Unknown()"
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, Unknown)
+
+    def __hash__(self) -> int:
+        return hash("rsd-unknown")
+
+
+UNKNOWN = Unknown()
+
+
+@dataclass(frozen=True)
+class StridedUnknown:
+    """Bounds too variable for the analysis, but the stride is known.
+
+    This is the paper's Topopt case: a dynamically revolving partition
+    whose base offset is data-dependent, but whose element accesses
+    "occur with unit stride" — so the compiler knows the array has good
+    spatial locality even though it cannot prove per-process sections.
+    """
+
+    stride: int = 1
+
+    depends_on_pdv = False
+
+    def instantiate(self, pdv: int):  # noqa: ARG002 - uniform interface
+        return None
+
+    def __str__(self) -> str:
+        return f"?:?:{self.stride}"
+
+
+Elem = Union[Point, Range, Unknown, StridedUnknown]
+
+
+@dataclass(frozen=True)
+class RSD:
+    """A bounded regular section descriptor: one :data:`Elem` per array
+    dimension.  Scalars are described by an empty descriptor."""
+
+    elems: tuple[Elem, ...] = ()
+
+    @staticmethod
+    def scalar() -> "RSD":
+        return RSD(())
+
+    @property
+    def ndim(self) -> int:
+        return len(self.elems)
+
+    @property
+    def depends_on_pdv(self) -> bool:
+        return any(e.depends_on_pdv for e in self.elems)
+
+    @property
+    def has_unknown(self) -> bool:
+        return any(isinstance(e, (Unknown, StridedUnknown)) for e in self.elems)
+
+    def instantiate(self, pdv: int) -> Optional[tuple[tuple[int, int, int], ...]]:
+        """Concrete (lo, hi, stride) per dimension for a given PDV value,
+        or None if any dimension is unknown."""
+        out: list[tuple[int, int, int]] = []
+        for e in self.elems:
+            inst = None if isinstance(e, (Unknown, StridedUnknown)) else e.instantiate(pdv)
+            if inst is None:
+                return None
+            out.append(inst)
+        return tuple(out)
+
+    def __str__(self) -> str:
+        if not self.elems:
+            return "[·]"
+        return "".join(f"[{e}]" for e in self.elems)

@@ -1,0 +1,21 @@
+"""Execution substrate: deterministic SPMD interpreter, round-robin
+scheduler, and memory-reference tracing (the paper's [EKKL90] role)."""
+
+from repro.runtime.builtins import rnd, rndf, splitmix64
+from repro.runtime.interpreter import PRIVATE_BASE, Interpreter, run_program
+from repro.runtime.scheduler import Proc, Scheduler
+from repro.runtime.trace import RunResult, Trace, TraceBuffer
+
+__all__ = [
+    "rnd",
+    "rndf",
+    "splitmix64",
+    "PRIVATE_BASE",
+    "Interpreter",
+    "run_program",
+    "Proc",
+    "Scheduler",
+    "RunResult",
+    "Trace",
+    "TraceBuffer",
+]

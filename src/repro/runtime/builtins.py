@@ -1,0 +1,55 @@
+"""Runtime implementations of the pure builtins.
+
+The pseudo-random helpers are deterministic hashes (splitmix64) of their
+argument, so program behaviour is identical across schedules and process
+counts — a requirement for comparing unoptimized and transformed runs on
+the same logical execution.
+"""
+
+from __future__ import annotations
+
+import math
+
+_MASK64 = (1 << 64) - 1
+
+
+def splitmix64(x: int) -> int:
+    """The splitmix64 finalizer: a high-quality 64-bit mix of ``x``."""
+    z = (x + 0x9E3779B97F4A7C15) & _MASK64
+    z = ((z ^ (z >> 30)) * 0xBF58476D1CE4E5B9) & _MASK64
+    z = ((z ^ (z >> 27)) * 0x94D049BB133111EB) & _MASK64
+    return (z ^ (z >> 31)) & _MASK64
+
+
+def rnd(x: int) -> int:
+    """Deterministic pseudo-random int in [0, 2**31)."""
+    return splitmix64(x) >> 33
+
+
+def rndf(x: int) -> float:
+    """Deterministic pseudo-random double in [0, 1)."""
+    return (splitmix64(x) >> 11) * (1.0 / (1 << 53))
+
+
+def _toint(x: float) -> int:
+    """C-style truncation toward zero."""
+    return int(x)
+
+
+PURE_IMPLS = {
+    "min": lambda a, b: a if a < b else b,
+    "max": lambda a, b: a if a > b else b,
+    "abs": abs,
+    "fmin": lambda a, b: a if a < b else b,
+    "fmax": lambda a, b: a if a > b else b,
+    "fabs": abs,
+    "sqrt": lambda x: math.sqrt(x) if x > 0.0 else 0.0,
+    "sin": math.sin,
+    "cos": math.cos,
+    "exp": lambda x: math.exp(min(x, 700.0)),
+    "pow": lambda a, b: math.pow(a, b) if a >= 0.0 else -math.pow(-a, b),
+    "toint": _toint,
+    "tofloat": float,
+    "rnd": rnd,
+    "rndf": rndf,
+}

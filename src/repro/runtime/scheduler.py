@@ -1,0 +1,137 @@
+"""Round-robin SPMD scheduler.
+
+Processes are Python generators produced by the interpreter; they yield
+at statement boundaries and while spinning on locks and barriers.  The
+scheduler interleaves them with a fixed quantum of yields per visit,
+giving a deterministic, fair interleaving — which keeps traces
+reproducible and makes unoptimized/transformed comparisons meaningful.
+
+Synchronization state (lock owners, barrier generation) lives here; the
+interpreter's ``lock``/``unlock``/``barrier`` builtins manipulate it and
+emit the corresponding memory traffic (spin probe reads, acquire RMWs),
+which is how lock contention shows up as coherence traffic in the cache
+simulation — the effect the paper's always-pad-locks rule targets.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator, Optional
+
+from repro.errors import RuntimeFault
+
+
+@dataclass(slots=True)
+class Proc:
+    """One logical process: the parent (pid -1) or a worker (pid >= 0)."""
+
+    pid: int
+    gen: Optional[Iterator] = None
+    done: bool = False
+    #: ("lock", addr) / ("barrier", generation) / ("join",) when blocked
+    blocked_on: Optional[tuple] = None
+    work: int = 0
+    private_refs: int = 0
+    shared_refs: int = 0
+    #: bump cursor for this process's private (stack) storage
+    priv_cursor: int = 0
+
+    @property
+    def is_worker(self) -> bool:
+        return self.pid >= 0
+
+
+class Scheduler:
+    """Deterministic round-robin over live processes."""
+
+    def __init__(self, quantum: int = 4, max_steps: int = 200_000_000):
+        self.quantum = quantum
+        self.max_steps = max_steps
+        self.procs: list[Proc] = []
+        self.locks: dict[int, int] = {}  # lock addr -> owner pid
+        self.barrier_generation = 0
+        self.barrier_waiting: set[int] = set()
+        self.steps = 0
+
+    # -- process management ------------------------------------------------------
+
+    def add(self, proc: Proc) -> None:
+        self.procs.append(proc)
+
+    def workers(self) -> list[Proc]:
+        return [p for p in self.procs if p.is_worker]
+
+    def live_workers(self) -> list[Proc]:
+        return [p for p in self.procs if p.is_worker and not p.done]
+
+    # -- barrier handling --------------------------------------------------------
+
+    def barrier_arrive(self, pid: int) -> int:
+        """Record arrival; return the generation the process waits on."""
+        self.barrier_waiting.add(pid)
+        gen = self.barrier_generation
+        self._maybe_release_barrier()
+        return gen
+
+    def _maybe_release_barrier(self) -> None:
+        live = {p.pid for p in self.live_workers()}
+        if live and self.barrier_waiting >= live:
+            self.barrier_generation += 1
+            self.barrier_waiting.clear()
+
+    def note_worker_done(self) -> None:
+        # a worker finishing may satisfy a pending barrier
+        self._maybe_release_barrier()
+
+    # -- main loop -----------------------------------------------------------------
+
+    def _state_token(self) -> tuple:
+        return (
+            tuple(sorted(self.locks.items())),
+            self.barrier_generation,
+            tuple(sorted(self.barrier_waiting)),
+            tuple(p.done for p in self.procs),
+            len(self.procs),
+        )
+
+    def run(self) -> None:
+        """Drive all processes to completion."""
+        while True:
+            alive = [p for p in self.procs if not p.done]
+            if not alive:
+                return
+            before = self._state_token()
+            did_work = False
+            for proc in list(self.procs):
+                if proc.done or proc.gen is None:
+                    continue
+                for _ in range(self.quantum):
+                    try:
+                        next(proc.gen)
+                        self.steps += 1
+                        if self.steps > self.max_steps:
+                            raise RuntimeFault(
+                                f"execution exceeded {self.max_steps} steps "
+                                "(runaway program?)"
+                            )
+                    except StopIteration:
+                        proc.done = True
+                        if proc.is_worker:
+                            self.note_worker_done()
+                        break
+                    if proc.blocked_on is not None:
+                        # blocked: the yield was a spin probe, stop the visit
+                        break
+                    did_work = True
+            all_blocked = all(
+                p.done or p.blocked_on is not None for p in self.procs
+            )
+            if not did_work and all_blocked and self._state_token() == before:
+                blocked = [
+                    f"pid {p.pid}: {p.blocked_on}"
+                    for p in self.procs
+                    if not p.done
+                ]
+                raise RuntimeFault(
+                    "deadlock: all live processes blocked — " + "; ".join(blocked)
+                )

@@ -1,0 +1,87 @@
+"""Memory reference traces.
+
+The SPMD interpreter plays the role of the paper's inline tracing tool
+[EKKL90]: it records every shared-data reference each process makes, in
+global interleaved order, as ``(proc, addr, size, is_write)``.  Private
+(stack) references are counted but not traced — with 32 KB caches and
+the restricted model's tiny frames they are effectively always hits, and
+the cache simulator accounts for them in the miss-rate denominator.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+
+class TraceBuffer:
+    """Append-only buffer of shared memory references."""
+
+    def __init__(self):
+        self.procs: list[int] = []
+        self.addrs: list[int] = []
+        self.sizes: list[int] = []
+        self.writes: list[bool] = []
+
+    def append(self, proc: int, addr: int, size: int, is_write: bool) -> None:
+        self.procs.append(proc)
+        self.addrs.append(addr)
+        self.sizes.append(size)
+        self.writes.append(is_write)
+
+    def __len__(self) -> int:
+        return len(self.addrs)
+
+    def freeze(self) -> "Trace":
+        return Trace(
+            proc=np.asarray(self.procs, dtype=np.int32),
+            addr=np.asarray(self.addrs, dtype=np.int64),
+            size=np.asarray(self.sizes, dtype=np.int32),
+            is_write=np.asarray(self.writes, dtype=bool),
+        )
+
+
+@dataclass(slots=True)
+class Trace:
+    """An immutable trace as parallel numpy arrays."""
+
+    proc: np.ndarray
+    addr: np.ndarray
+    size: np.ndarray
+    is_write: np.ndarray
+
+    def __len__(self) -> int:
+        return len(self.addr)
+
+    def __iter__(self):
+        return zip(
+            self.proc.tolist(),
+            self.addr.tolist(),
+            self.size.tolist(),
+            self.is_write.tolist(),
+        )
+
+
+@dataclass(slots=True)
+class RunResult:
+    """Everything produced by one SPMD execution."""
+
+    trace: Trace
+    nprocs: int
+    #: per-process interpreted-operation counts (compute cost proxy)
+    work: dict[int, int]
+    #: per-process counts of untraced private references
+    private_refs: dict[int, int]
+    #: per-process shared reference counts
+    shared_refs: dict[int, int]
+    #: lines collected from print()
+    output: list[str] = field(default_factory=list)
+    #: main's return value
+    exit_value: int | None = None
+    #: (addr, size, label) of heap allocations, for miss attribution
+    heap_segments: list[tuple[int, int, str]] = field(default_factory=list)
+
+    @property
+    def total_refs(self) -> int:
+        return int(sum(self.private_refs.values()) + sum(self.shared_refs.values()))

@@ -1,0 +1,348 @@
+"""Trace-driven multiprocessor simulation with write-invalidate
+coherence and miss classification.
+
+Miss classes
+------------
+
+``cold``
+    First reference to the block by this cache.
+``replace``
+    The block was previously evicted for capacity/conflict reasons.
+``true``
+    Invalidation miss where the missing access touches a word some other
+    processor wrote while this cache did not hold the block — the
+    communication was necessary.
+``false``
+    Invalidation miss where the accessed word was *not* remotely
+    modified since this cache lost the block: the miss exists only
+    because unrelated data share the cache block.  This is the paper's
+    false-sharing miss [EJ91, TLH94].
+
+Word granularity for the write log is 4 bytes (the smallest scalar).
+Upgrades (S→M writes) invalidate remote copies but are not misses.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.runtime.trace import Trace
+from repro.sim.cache import Cache, CacheConfig, INVALID, MODIFIED, SHARED
+
+WORD = 4
+
+COLD = "cold"
+REPLACE = "replace"
+TRUE_SHARING = "true"
+FALSE_SHARING = "false"
+
+#: Loss causes recorded per (proc, block).
+_EVICT = 0
+_INVAL = 1
+
+
+@dataclass(slots=True)
+class MissCounts:
+    cold: int = 0
+    replace: int = 0
+    true_sharing: int = 0
+    false_sharing: int = 0
+
+    @property
+    def total(self) -> int:
+        return self.cold + self.replace + self.true_sharing + self.false_sharing
+
+    def add(self, other: "MissCounts") -> None:
+        self.cold += other.cold
+        self.replace += other.replace
+        self.true_sharing += other.true_sharing
+        self.false_sharing += other.false_sharing
+
+
+@dataclass(slots=True)
+class SimResult:
+    """Outcome of simulating one trace on one cache configuration."""
+
+    config: CacheConfig
+    nprocs: int
+    refs: int
+    misses: MissCounts
+    invalidations: int
+    writebacks: int
+    upgrades: int
+    #: per-processor miss counts
+    per_proc: dict[int, MissCounts]
+    #: false-sharing misses per block (for data-structure attribution)
+    fs_by_block: dict[int, int] = field(default_factory=dict)
+    miss_by_block: dict[int, int] = field(default_factory=dict)
+    #: extra references counted toward the denominator but not simulated
+    extra_refs: int = 0
+
+    @property
+    def total_misses(self) -> int:
+        return self.misses.total
+
+    @property
+    def miss_rate(self) -> float:
+        denom = self.refs + self.extra_refs
+        return self.total_misses / denom if denom else 0.0
+
+    @property
+    def fs_miss_rate(self) -> float:
+        denom = self.refs + self.extra_refs
+        return self.misses.false_sharing / denom if denom else 0.0
+
+    @property
+    def other_miss_rate(self) -> float:
+        return self.miss_rate - self.fs_miss_rate
+
+    @property
+    def coherence_misses(self) -> int:
+        return self.misses.true_sharing + self.misses.false_sharing
+
+
+class CoherenceSim:
+    """Write-invalidate multiprocessor cache simulator.
+
+    ``word_invalidate=True`` models the hardware alternative of Dubois
+    et al. [DSR+93]: invalidations are performed per *word* instead of
+    per block, so a remote copy stays usable unless the words it
+    actually reads were overwritten.  This eliminates false-sharing
+    misses entirely (they become hits on still-valid words) at the cost
+    of an invalid bit per word and more invalidation traffic — the
+    paper's section 6 comparison point.
+    """
+
+    def __init__(self, nprocs: int, config: CacheConfig,
+                 *, word_invalidate: bool = False):
+        self.nprocs = nprocs
+        self.config = config
+        self.word_invalidate = word_invalidate
+        #: (proc, block) -> set of invalidated word indices (word mode)
+        self.stale_words: dict[tuple[int, int], set[int]] = {}
+        self.caches: dict[int, Cache] = {}
+        #: block -> set of procs with a copy (incl. MODIFIED owner)
+        self.sharers: dict[int, set[int]] = {}
+        #: (proc, block) blocks this proc has ever had
+        self.ever: set[tuple[int, int]] = set()
+        #: (proc, block) -> (cause, time) of last loss
+        self.lost: dict[tuple[int, int], tuple[int, int]] = {}
+        #: block -> {word_index: (writer, time)}
+        self.write_log: dict[int, dict[int, tuple[int, int]]] = {}
+        self.time = 0
+        self.invalidations = 0
+        self.writebacks = 0
+        self.upgrades = 0
+        self.misses = MissCounts()
+        self.per_proc: dict[int, MissCounts] = {}
+        self.fs_by_block: dict[int, int] = {}
+        self.miss_by_block: dict[int, int] = {}
+        self.refs = 0
+
+    def _cache(self, proc: int) -> Cache:
+        c = self.caches.get(proc)
+        if c is None:
+            c = self.caches[proc] = Cache(self.config)
+            self.per_proc[proc] = MissCounts()
+        return c
+
+    # -- core access ------------------------------------------------------------
+
+    def access(self, proc: int, addr: int, size: int, is_write: bool) -> None:
+        """Simulate one reference (split across blocks if it straddles)."""
+        bs = self.config.block_size
+        first = addr // bs
+        last = (addr + max(size, 1) - 1) // bs
+        for block in range(first, last + 1):
+            lo = max(addr, block * bs)
+            hi = min(addr + max(size, 1), (block + 1) * bs)
+            self._access_block(proc, block, lo, hi, is_write)
+
+    def _access_block(
+        self, proc: int, block: int, lo: int, hi: int, is_write: bool
+    ) -> None:
+        self.refs += 1
+        self.time += 1
+        cache = self._cache(proc)
+        state = cache.state(block)
+        if state == INVALID:
+            self._miss(proc, cache, block, lo, hi, is_write)
+        elif self.word_invalidate and self._touches_stale(proc, block, lo, hi):
+            # word-granularity mode: the block is resident but a word
+            # this access needs was remotely overwritten — genuine
+            # communication, never false sharing
+            self.misses.true_sharing += 1
+            self.per_proc[proc].true_sharing += 1
+            self.miss_by_block[block] = self.miss_by_block.get(block, 0) + 1
+            self.stale_words.pop((proc, block), None)  # refetch refreshes
+            cache.touch(block)
+            if is_write:
+                self._invalidate_others(proc, block, lo, hi)
+                cache.set_state(block, MODIFIED)
+        else:
+            cache.touch(block)
+            if is_write and state == SHARED:
+                self._invalidate_others(proc, block, lo, hi)
+                cache.set_state(block, MODIFIED)
+                self.upgrades += 1
+            elif is_write and self.word_invalidate:
+                # word mode: several caches may hold dirty copies with
+                # disjoint dirty words; every write pushes word
+                # invalidations to the other holders
+                self._invalidate_others(proc, block, lo, hi)
+        if is_write:
+            self._log_write(proc, block, lo, hi)
+
+    def _touches_stale(self, proc: int, block: int, lo: int, hi: int) -> bool:
+        stale = self.stale_words.get((proc, block))
+        if not stale:
+            return False
+        return any(
+            w in stale for w in range(lo // WORD, (hi + WORD - 1) // WORD)
+        )
+
+    def _log_write(self, proc: int, block: int, lo: int, hi: int) -> None:
+        log = self.write_log.setdefault(block, {})
+        t = self.time
+        for w in range(lo // WORD, (hi + WORD - 1) // WORD):
+            log[w] = (proc, t)
+
+    def _classify(
+        self, proc: int, block: int, lo: int, hi: int
+    ) -> str:
+        key = (proc, block)
+        if key not in self.ever:
+            return COLD
+        cause, t_lost = self.lost.get(key, (_EVICT, 0))
+        if cause == _EVICT:
+            return REPLACE
+        log = self.write_log.get(block)
+        if log:
+            for w in range(lo // WORD, (hi + WORD - 1) // WORD):
+                entry = log.get(w)
+                # >= : the write that caused the invalidation is logged at
+                # exactly t_lost and is true communication.
+                if entry is not None and entry[1] >= t_lost and entry[0] != proc:
+                    return TRUE_SHARING
+        return FALSE_SHARING
+
+    def _miss(
+        self, proc: int, cache: Cache, block: int, lo: int, hi: int, is_write: bool
+    ) -> None:
+        kind = self._classify(proc, block, lo, hi)
+        counts = self.per_proc[proc]
+        if kind == COLD:
+            self.misses.cold += 1
+            counts.cold += 1
+        elif kind == REPLACE:
+            self.misses.replace += 1
+            counts.replace += 1
+        elif kind == TRUE_SHARING:
+            self.misses.true_sharing += 1
+            counts.true_sharing += 1
+        else:
+            self.misses.false_sharing += 1
+            counts.false_sharing += 1
+            self.fs_by_block[block] = self.fs_by_block.get(block, 0) + 1
+        self.miss_by_block[block] = self.miss_by_block.get(block, 0) + 1
+        self.ever.add((proc, block))
+        self.stale_words.pop((proc, block), None)  # a fill refreshes all words
+        if is_write:
+            self._invalidate_others(proc, block, lo, hi)
+            new_state = MODIFIED
+        else:
+            # demote a remote MODIFIED copy to SHARED (writeback)
+            for other in self.sharers.get(block, ()):  # at most one M holder
+                oc = self.caches.get(other)
+                if oc is not None and oc.state(block) == MODIFIED:
+                    oc.set_state(block, SHARED)
+                    self.writebacks += 1
+            new_state = SHARED
+        victim = cache.insert(block, new_state)
+        self.sharers.setdefault(block, set()).add(proc)
+        if victim is not None:
+            vblock, vstate = victim
+            if vstate == MODIFIED:
+                self.writebacks += 1
+            self.lost[(proc, vblock)] = (_EVICT, self.time)
+            holders = self.sharers.get(vblock)
+            if holders is not None:
+                holders.discard(proc)
+
+    def _invalidate_others(
+        self, proc: int, block: int, lo: int | None = None, hi: int | None = None
+    ) -> None:
+        holders = self.sharers.get(block)
+        if not holders:
+            return
+        if self.word_invalidate and lo is not None and hi is not None:
+            words = set(range(lo // WORD, (hi + WORD - 1) // WORD))
+            for other in list(holders):
+                if other == proc:
+                    continue
+                oc = self.caches.get(other)
+                if oc is None or oc.state(block) == INVALID:
+                    holders.discard(other)
+                    continue
+                # per-word invalidation: the copy stays resident, only
+                # the written words go stale
+                self.stale_words.setdefault((other, block), set()).update(words)
+                self.invalidations += 1
+            return
+        for other in list(holders):
+            if other == proc:
+                continue
+            oc = self.caches.get(other)
+            if oc is None:
+                continue
+            state = oc.invalidate(block)
+            if state != INVALID:
+                self.invalidations += 1
+                if state == MODIFIED:
+                    self.writebacks += 1
+                self.lost[(other, block)] = (_INVAL, self.time)
+            holders.discard(other)
+
+    # -- driver -------------------------------------------------------------------
+
+    def result(self, extra_refs: int = 0) -> SimResult:
+        return SimResult(
+            config=self.config,
+            nprocs=self.nprocs,
+            refs=self.refs,
+            misses=self.misses,
+            invalidations=self.invalidations,
+            writebacks=self.writebacks,
+            upgrades=self.upgrades,
+            per_proc=self.per_proc,
+            fs_by_block=self.fs_by_block,
+            miss_by_block=self.miss_by_block,
+            extra_refs=extra_refs,
+        )
+
+
+def simulate_trace(
+    trace: Trace,
+    nprocs: int,
+    config: CacheConfig,
+    *,
+    extra_refs: int = 0,
+    word_invalidate: bool = False,
+) -> SimResult:
+    """Run the coherence simulation over a frozen trace.
+
+    ``extra_refs`` adds untraced (always-hit private) references to the
+    miss-rate denominator, matching how the paper's miss rates are
+    normalized to all memory references.  ``word_invalidate`` switches
+    to the Dubois et al. [DSR+93] per-word invalidation hardware.
+    """
+    sim = CoherenceSim(nprocs, config, word_invalidate=word_invalidate)
+    access = sim.access
+    for proc, addr, size, is_write in zip(
+        trace.proc.tolist(),
+        trace.addr.tolist(),
+        trace.size.tolist(),
+        trace.is_write.tolist(),
+    ):
+        access(proc, addr, size, is_write)
+    return sim.result(extra_refs=extra_refs)

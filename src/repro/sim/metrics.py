@@ -1,0 +1,103 @@
+"""Aggregation helpers over simulation results: per-structure miss
+attribution and block-size sweeps (the raw material of Figure 3,
+Table 2 and the section-5 headline statistics)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.layout.regions import RegionMap
+from repro.runtime.trace import RunResult
+from repro.sim.cache import CacheConfig
+from repro.sim.coherence import SimResult, simulate_trace
+
+
+@dataclass(slots=True)
+class StructureMisses:
+    name: str
+    false_sharing: int = 0
+    total: int = 0
+
+    @property
+    def other(self) -> int:
+        return self.total - self.false_sharing
+
+
+def attribute_misses(
+    result: SimResult, regions: RegionMap
+) -> dict[str, StructureMisses]:
+    """Fold per-block miss counts into per-data-structure counts."""
+    bs = result.config.block_size
+    out: dict[str, StructureMisses] = {}
+    for block, count in result.miss_by_block.items():
+        name = regions.name_of(block * bs)
+        rec = out.setdefault(name, StructureMisses(name))
+        rec.total += count
+    for block, count in result.fs_by_block.items():
+        name = regions.name_of(block * bs)
+        rec = out.setdefault(name, StructureMisses(name))
+        rec.false_sharing += count
+    return out
+
+
+def top_fs_structures(
+    result: SimResult, regions: RegionMap, n: int = 5
+) -> list[StructureMisses]:
+    """The n structures with the most false-sharing misses."""
+    attributed = attribute_misses(result, regions)
+    ranked = sorted(
+        attributed.values(), key=lambda s: s.false_sharing, reverse=True
+    )
+    return ranked[:n]
+
+
+def simulate_run(
+    run: RunResult,
+    block_size: int,
+    *,
+    cache_size: int = 32 * 1024,
+    assoc: int = 4,
+    word_invalidate: bool = False,
+) -> SimResult:
+    """Simulate a run's trace at one block size, counting the run's
+    private references into the miss-rate denominator."""
+    config = CacheConfig(size=cache_size, block_size=block_size, assoc=assoc)
+    extra = sum(run.private_refs.values())
+    return simulate_trace(
+        run.trace, run.nprocs, config, extra_refs=extra,
+        word_invalidate=word_invalidate,
+    )
+
+
+@dataclass(slots=True)
+class BlockSizeSweep:
+    """Miss statistics across block sizes for one run."""
+
+    block_sizes: list[int]
+    results: dict[int, SimResult] = field(default_factory=dict)
+
+    @property
+    def fs_fraction_by_size(self) -> dict[int, float]:
+        return {
+            bs: (
+                r.misses.false_sharing / r.total_misses
+                if r.total_misses
+                else 0.0
+            )
+            for bs, r in self.results.items()
+        }
+
+
+def sweep_block_sizes(
+    run: RunResult,
+    block_sizes: list[int],
+    *,
+    cache_size: int = 32 * 1024,
+    assoc: int = 4,
+) -> BlockSizeSweep:
+    sweep = BlockSizeSweep(block_sizes=list(block_sizes))
+    for bs in block_sizes:
+        sweep.results[bs] = simulate_run(
+            run, bs, cache_size=cache_size, assoc=assoc
+        )
+    return sweep

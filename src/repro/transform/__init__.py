@@ -1,0 +1,29 @@
+"""Shared-data transformations: decision heuristics, transformation
+plans, and the source-to-source rendering of transformed programs."""
+
+from repro.transform.heuristics import decide_transformations
+from repro.transform.plan import (
+    ALL_KINDS,
+    Decision,
+    GroupMember,
+    Indirection,
+    LockPad,
+    PadAlign,
+    TransformPlan,
+)
+from repro.transform.profile_guided import profile_guided_plan
+from repro.transform.rewriter import render_transformed_source, transform_source
+
+__all__ = [
+    "profile_guided_plan",
+    "decide_transformations",
+    "ALL_KINDS",
+    "Decision",
+    "GroupMember",
+    "Indirection",
+    "LockPad",
+    "PadAlign",
+    "TransformPlan",
+    "render_transformed_source",
+    "transform_source",
+]

@@ -1,0 +1,163 @@
+"""Source-level rendering of the group & transpose transformation
+(Figure 2a).
+
+Two shapes are emitted:
+
+* **owned scalars / PDV-point vectors** (``v[pid]``): all members are
+  gathered into one per-processor region struct, padded to the cache
+  block — ``v[e]`` becomes ``__fs_region[e].v``;
+* **partitioned vectors** (cyclic ``v[pid + k*P]`` or blocked
+  ``v[pid*C + i]``): the vector is transposed into a 2-D per-processor
+  array — ``v[e]`` becomes ``__fs_v[__fs_owner_v(e)][__fs_slot_v(e)]``
+  with the owner/slot maps derived from the partition descriptor.
+
+The rendered source is a faithful, re-parseable program; the simulated
+layout (:mod:`repro.layout.datalayout`) is the authoritative realization
+of the same plan (see DESIGN.md, "Transformation fidelity note").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.lang import ctypes as T
+from repro.lang.checker import CheckedProgram
+from repro.lang.printer import format_decl
+from repro.rsd.descriptor import Point, RSD, Range
+from repro.rsd.expr import PDV
+from repro.transform.plan import GroupMember, TransformPlan
+
+REGION_NAME = "__fs_region"
+
+
+@dataclass(slots=True)
+class PartitionShape:
+    """A recognized partition: owner/slot as C expressions of the index."""
+
+    kind: str           # "point" | "cyclic" | "blocked"
+    owner_expr: str     # C expression in terms of "i"
+    slot_expr: str
+    slots_per_proc: int
+
+
+def classify_partition(
+    partition: Optional[RSD], nprocs: int, nelems: int
+) -> Optional[PartitionShape]:
+    """Recognize the standard partition shapes."""
+    if partition is None:
+        return PartitionShape("point", "0", "0", 1)
+    if partition.ndim != 1:
+        return None
+    elem = partition.elems[0]
+    if isinstance(elem, Point):
+        aff = elem.value
+        if aff.pdv_coeff == 1 and aff.only_symbols({PDV}) and aff.const == 0:
+            return PartitionShape("point", "i", "0", 1)
+        return None
+    if isinstance(elem, Range):
+        lo, hi, stride = elem.lo, elem.hi, elem.stride
+        # cyclic: lo = pdv + c0, stride = nprocs
+        if (
+            lo.pdv_coeff == 1
+            and lo.only_symbols({PDV})
+            and stride == nprocs
+        ):
+            slots = (nelems + nprocs - 1) // nprocs
+            return PartitionShape(
+                "cyclic", f"i % {nprocs}", f"i / {nprocs}", slots
+            )
+        # blocked: lo = pdv*C + c0, stride = 1
+        c = lo.pdv_coeff
+        if c > 0 and stride == 1 and lo.only_symbols({PDV}):
+            return PartitionShape("blocked", f"i / {c}", f"i % {c}", c)
+    return None
+
+
+@dataclass(slots=True)
+class GroupRendering:
+    """Declarations and access-rewrite directives for one plan."""
+
+    #: members placed in the per-processor region struct: name -> elem type
+    region_members: dict[str, T.CType]
+    #: partitioned vectors: name -> (elem type, shape)
+    transposed: dict[str, tuple[T.CType, PartitionShape]]
+    decl_lines: list[str]
+    helper_lines: list[str]
+    notes: list[str]
+
+
+def render_group(
+    checked: CheckedProgram,
+    plan: TransformPlan,
+    *,
+    block_size: int,
+    nprocs: int,
+) -> GroupRendering:
+    region_members: dict[str, T.CType] = {}
+    transposed: dict[str, tuple[T.CType, PartitionShape]] = {}
+    notes: list[str] = []
+    region_count = max(nprocs, 1)
+    for m in plan.group:
+        sym = checked.symtab.globals.get(m.base)
+        if sym is None or m.path:
+            notes.append(f"group member {m} requires layout-level handling")
+            continue
+        ty = sym.type
+        if isinstance(ty, T.ArrayType):
+            if len(ty.dims) != 1:
+                notes.append(
+                    f"{m.base}: multi-dimensional member handled by layout only"
+                )
+                continue
+            shape = classify_partition(m.partition, nprocs, ty.dims[0])
+            if shape is None:
+                notes.append(
+                    f"{m.base}: partition {m.partition} rendered via layout only"
+                )
+                continue
+            if shape.kind == "point":
+                region_members[m.base] = ty.elem
+                # keep the source's full extent so initialization loops
+                # over the declared size remain in bounds
+                region_count = max(region_count, ty.dims[0])
+            else:
+                transposed[m.base] = (ty.elem, shape)
+        else:
+            # owned scalar: a slot in the owner's region
+            region_members[m.base] = ty
+    decl_lines: list[str] = []
+    helper_lines: list[str] = []
+    if region_members:
+        used = sum(t.size for t in region_members.values())
+        pad_ints = max((_round_up(used, block_size) - used) // 4, 1)
+        decl_lines.append(f"struct {REGION_NAME}_t {{")
+        for name, ty in region_members.items():
+            decl_lines.append(f"    {format_decl(name, ty)};")
+        decl_lines.append(f"    int __pad[{pad_ints}];")
+        decl_lines.append("};")
+        decl_lines.append(
+            f"struct {REGION_NAME}_t {REGION_NAME}[{region_count}];"
+        )
+    for name, (ety, shape) in transposed.items():
+        padded_slots = _round_up(shape.slots_per_proc * ety.size, block_size) // ety.size
+        decl_lines.append(
+            f"{format_decl('__fs_' + name, T.ArrayType(ety, (nprocs, padded_slots)))};"
+        )
+        helper_lines.append(
+            f"int __fs_owner_{name}(int i)\n{{\n    return {shape.owner_expr};\n}}"
+        )
+        helper_lines.append(
+            f"int __fs_slot_{name}(int i)\n{{\n    return {shape.slot_expr};\n}}"
+        )
+    return GroupRendering(
+        region_members=region_members,
+        transposed=transposed,
+        decl_lines=decl_lines,
+        helper_lines=helper_lines,
+        notes=notes,
+    )
+
+
+def _round_up(n: int, align: int) -> int:
+    return (n + align - 1) // align * align

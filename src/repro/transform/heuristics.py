@@ -1,0 +1,420 @@
+"""Transformation decision heuristics (paper, section 3.3).
+
+"The factors used in the heuristics to make the transformation decisions
+are the type (read/write, shared/per-process), stride (known/unknown)
+and frequency of access to the elements of a data structure":
+
+* **group & transpose / indirection** require the pattern of writes to be
+  per-process, and the pattern of reads to be per-process or read-shared
+  without spatial or processor locality; if reads are read-shared *with*
+  locality, the structure is transformed only when writes outnumber
+  reads by at least an order of magnitude;
+* indirection is chosen instead of group & transpose when the layout
+  cannot be changed physically — per-process data embedded in
+  dynamically allocated records (reached through pointer hops);
+* **pad & align** applies only when both reads and writes exhibit sharing
+  without processor or spatial locality;
+* **locks are always padded**.
+
+A relative frequency threshold keeps cold structures untouched; because
+the weights come from *static* profiling, structures whose activity the
+profile underestimates (busy scalars inside data-dependent loops) fall
+below it — reproducing the residual false sharing the paper reports for
+Maxflow and Raytrace.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.analysis.summary import ProgramAnalysis, TargetPattern
+from repro.lang import ctypes as T
+from repro.rsd.descriptor import RSD
+from repro.rsd.ops import disjoint_across_pdv
+from repro.transform.plan import (
+    Decision,
+    GroupMember,
+    Indirection,
+    LockPad,
+    PadAlign,
+    TransformPlan,
+)
+
+#: Minimum fraction of the program's total (parallel-phase) access weight
+#: a structure needs before it is considered for transformation.
+MIN_WEIGHT_FRACTION = 0.0005
+
+#: "the number of writes dominate the number of reads by at least an
+#: order of magnitude"
+WRITE_DOMINANCE = 10.0
+
+#: Pad & align trades spatial locality for processor locality, so it
+#: needs a higher frequency bar than the locality-preserving
+#: transformations: the structure must carry at least this fraction of
+#: the program's access weight.  Busy scalars whose frequency the static
+#: profile underestimates fall below it (the paper's Maxflow/Raytrace
+#: residual-FS case).
+PAD_WEIGHT_FRACTION = 0.02
+
+#: Padding an array per element multiplies its size; give up beyond this.
+MAX_PADDED_BYTES = 1 << 20
+
+
+def _reads_gate(pat: TargetPattern) -> tuple[bool, str]:
+    """The read-pattern condition shared by g&t and indirection."""
+    reads = pat.reads
+    if reads <= 0:
+        return True, "no reads"
+    local = pat.read_sh_local
+    if local <= 0.1 * reads:
+        return True, "reads per-process or shared without locality"
+    if pat.writes >= WRITE_DOMINANCE * reads:
+        return True, "reads have locality but writes dominate 10x"
+    return False, "reads are shared with spatial locality"
+
+
+def _elem_struct(ty: T.CType) -> Optional[T.StructType]:
+    if isinstance(ty, T.ArrayType):
+        ty = ty.elem
+    if isinstance(ty, T.PointerType):
+        ty = ty.target
+    return ty if isinstance(ty, T.StructType) else None
+
+
+def _choose_partition(pat: TargetPattern, nprocs: int) -> Optional[RSD]:
+    """Heaviest PDV-disjoint write descriptor, if any."""
+    best: Optional[tuple[float, RSD]] = None
+    for rsd, w in pat.write_descriptors:
+        if rsd.depends_on_pdv and disjoint_across_pdv(rsd, nprocs):
+            if best is None or w > best[0]:
+                best = (w, rsd)
+    return best[1] if best else None
+
+
+def _single_writer(pat: TargetPattern) -> Optional[int]:
+    """The lone worker that writes this target, if there is exactly one."""
+    writers: set[int] = set()
+    for e in pat.entries:
+        if e.is_write and e.phase >= 0:
+            writers |= e.procs
+    if len(writers) == 1:
+        (w,) = writers
+        return w if w >= 0 else None
+    return None
+
+
+def decide_transformations(
+    analysis: ProgramAnalysis,
+    *,
+    block_size: int = 128,
+    min_weight_fraction: float = MIN_WEIGHT_FRACTION,
+    pad_weight_fraction: float = PAD_WEIGHT_FRACTION,
+) -> TransformPlan:
+    """Produce a transformation plan from the per-structure patterns.
+
+    ``pad_weight_fraction`` is the frequency bar for pad&align (see
+    :data:`PAD_WEIGHT_FRACTION`); setting it to 0 pads every shared
+    structure without locality — the indiscriminate-padding ablation.
+    """
+    pa = analysis
+    plan = TransformPlan(nprocs=pa.nprocs)
+    total_weight = sum(p.writes + p.reads for p in pa.patterns.values()) or 1.0
+    threshold = min_weight_fraction * total_weight
+    pad_threshold = pad_weight_fraction * total_weight
+    globals_ = pa.checked.symtab.globals
+    seen_indirections: set[tuple[str, str]] = set()
+    seen_lockpads: set[str] = set()
+
+    for target, pat in sorted(pa.patterns.items(), key=lambda kv: str(kv[0])):
+        name = str(target)
+
+        # -- locks: always padded --------------------------------------------
+        if pat.is_lock:
+            lp = _lock_pad_for(target, pat, globals_)
+            if lp is not None and str(lp) not in seen_lockpads:
+                seen_lockpads.add(str(lp))
+                plan.lock_pads.append(lp)
+                plan.decisions.append(
+                    Decision(name, "lock_pad", "locks are always padded")
+                )
+            continue
+
+        weight = pat.writes + pat.reads
+        if weight < threshold:
+            plan.decisions.append(
+                Decision(
+                    name,
+                    "none",
+                    f"below frequency threshold ({weight:.0f} < {threshold:.0f}; "
+                    "static profile may underestimate busy structures)",
+                )
+            )
+            continue
+        if pat.writes <= 0:
+            plan.decisions.append(
+                Decision(name, "none", "read-only: no coherence traffic")
+            )
+            continue
+
+        # -- heap-record fields: indirection ----------------------------------
+        if target.is_heap and pat.record_field is not None:
+            if pat.writes_are_per_process:
+                ok, why = _reads_gate(pat)
+                if ok:
+                    key = pat.record_field
+                    if key not in seen_indirections and _indirectable(
+                        pa, key
+                    ):
+                        seen_indirections.add(key)
+                        plan.indirections.append(Indirection(*key))
+                        plan.decisions.append(
+                            Decision(
+                                name,
+                                "indirection",
+                                f"per-process writes to heap-record field; {why}",
+                            )
+                        )
+                    continue
+                plan.decisions.append(Decision(name, "none", why))
+                continue
+            plan.decisions.append(
+                Decision(name, "none", "heap field writes are not per-process")
+            )
+            continue
+        if target.is_heap:
+            plan.decisions.append(
+                Decision(name, "none", "heap data without a transformable field")
+            )
+            continue
+
+        ginfo = globals_.get(target.base)
+        if ginfo is None:
+            plan.decisions.append(Decision(name, "none", "not a global"))
+            continue
+
+        # -- arrays: group & transpose -----------------------------------------
+        if isinstance(ginfo.type, T.ArrayType):
+            if pat.writes_are_per_process:
+                partition = _choose_partition(pat, pa.nprocs)
+                ok, why = _reads_gate(pat)
+                if partition is not None and ok and partition.ndim == len(
+                    ginfo.type.dims
+                ):
+                    plan.group.append(
+                        GroupMember(target.base, target.path, partition)
+                    )
+                    plan.decisions.append(
+                        Decision(
+                            name,
+                            "group_transpose",
+                            f"per-process write partition {partition}; {why}",
+                        )
+                    )
+                    continue
+                owner = _single_writer(pat)
+                if owner is not None and ok:
+                    plan.group.append(
+                        GroupMember(target.base, target.path, None, owner)
+                    )
+                    plan.decisions.append(
+                        Decision(
+                            name,
+                            "group_transpose",
+                            f"written only by process {owner}; {why}",
+                        )
+                    )
+                    continue
+                if partition is None:
+                    plan.decisions.append(
+                        Decision(
+                            name, "none",
+                            "per-process writes but no usable partition descriptor",
+                        )
+                    )
+                    continue
+                plan.decisions.append(Decision(name, "none", why))
+                continue
+            # shared writes: pad & align candidate
+            if _pad_gate(pat) and weight < pad_threshold:
+                plan.decisions.append(
+                    Decision(
+                        name, "none",
+                        "padding candidate but below the frequency bar "
+                        f"({weight:.0f} < {pad_threshold:.0f}); static profile "
+                        "may underestimate busy structures",
+                    )
+                )
+                continue
+            if _pad_gate(pat):
+                padded = ginfo.type.nelems * _round_up(
+                    _pad_elem_size(pa, ginfo.type), block_size
+                )
+                if padded <= MAX_PADDED_BYTES:
+                    plan.pads.append(PadAlign(target.base, per_element=True))
+                    plan.decisions.append(
+                        Decision(
+                            name,
+                            "pad_align",
+                            "elements write-shared without processor or "
+                            "spatial locality",
+                        )
+                    )
+                else:
+                    plan.decisions.append(
+                        Decision(
+                            name, "none",
+                            f"padding would expand to {padded} bytes",
+                        )
+                    )
+                continue
+            plan.decisions.append(
+                Decision(name, "none", "shared writes but reads/writes have locality")
+            )
+            continue
+
+        # -- scalars ------------------------------------------------------------
+        owner = _single_writer(pat)
+        reads = pat.reads
+        mostly_private_reads = reads <= 0 or pat.read_pp / reads >= 0.9
+        if owner is not None and mostly_private_reads:
+            plan.group.append(GroupMember(target.base, target.path, None, owner))
+            plan.decisions.append(
+                Decision(
+                    name,
+                    "group_transpose",
+                    f"scalar used only by process {owner}: grouped into its region",
+                )
+            )
+            continue
+        if _pad_gate(pat):
+            if weight < pad_threshold:
+                plan.decisions.append(
+                    Decision(
+                        name, "none",
+                        "padding candidate but below the frequency bar "
+                        f"({weight:.0f} < {pad_threshold:.0f}); static profile "
+                        "may underestimate busy scalars",
+                    )
+                )
+                continue
+            plan.pads.append(PadAlign(target.base, per_element=False))
+            plan.decisions.append(
+                Decision(
+                    name,
+                    "pad_align",
+                    "write-shared scalar without processor or spatial locality",
+                )
+            )
+            continue
+        plan.decisions.append(
+            Decision(name, "none", "no profitable transformation")
+        )
+
+    _dedupe_group(plan)
+    return plan
+
+
+def _round_up(n: int, align: int) -> int:
+    return (n + align - 1) // align * align
+
+
+def _pad_elem_size(pa: ProgramAnalysis, ty: T.ArrayType) -> int:
+    elem = ty.elem
+    size = getattr(elem, "size", 8)
+    return int(size)
+
+
+def _pad_gate(pat: TargetPattern) -> bool:
+    """Pad & align only when both reads and writes exhibit sharing
+    without processor or spatial locality (paper, section 3.3).
+
+    A known unit write stride — even with data-dependent bounds — counts
+    as spatial locality (the paper's Topopt revolving array: "Nor does
+    the array appear to the compiler to have poor spatial locality,
+    because the writes ... occur with unit stride").
+    """
+    writes = pat.writes
+    if writes <= 0:
+        return False
+    if pat.write_sh / writes < 0.5:
+        return False
+    if _write_unit_stride_fraction(pat) >= 0.5:
+        return False
+    reads = pat.reads
+    if reads <= 0:
+        return True
+    return (pat.read_sh_nonlocal + pat.read_pp) / reads >= 0.5 and (
+        pat.read_sh_local / reads < 0.5
+    )
+
+
+def _write_unit_stride_fraction(pat: TargetPattern) -> float:
+    """Weight fraction of write descriptors with a known unit stride."""
+    from repro.rsd.descriptor import Range, StridedUnknown
+
+    total = 0.0
+    local = 0.0
+    for rsd, w in pat.write_descriptors:
+        total += w
+        if not rsd.elems:
+            continue
+        last = rsd.elems[-1]
+        if isinstance(last, Range) and last.stride == 1:
+            local += w
+        elif isinstance(last, StridedUnknown) and last.stride == 1:
+            local += w
+    return local / total if total else 0.0
+
+
+def _indirectable(pa: ProgramAnalysis, key: tuple[str, str]) -> bool:
+    """A field can be indirected if it exists and is not itself a pointer
+    used for structure linkage (next/prev links stay in place)."""
+    sname, fname = key
+    st = pa.checked.symtab.structs.get(sname)
+    if not isinstance(st, T.StructType):
+        return False
+    fld = st.field(fname)
+    if fld is None:
+        return False
+    if isinstance(fld.type, T.PointerType):
+        return False
+    if isinstance(fld.type, T.LockType):
+        return False
+    return True
+
+
+def _lock_pad_for(
+    target, pat: TargetPattern, globals_
+) -> Optional[LockPad]:
+    if pat.record_field is not None:
+        return LockPad(struct_field=pat.record_field)
+    if not target.path:
+        return LockPad(base=target.base)
+    # lock field of a global array of structs
+    ginfo = globals_.get(target.base)
+    if ginfo is not None:
+        st = _elem_struct(ginfo.type)
+        if st is not None and len(target.path) == 1:
+            return LockPad(struct_field=(st.name, target.path[0]))
+    return LockPad(base=target.base)
+
+
+def _dedupe_group(plan: TransformPlan) -> None:
+    seen: set[tuple[str, tuple[str, ...]]] = set()
+    unique: list[GroupMember] = []
+    for m in plan.group:
+        key = (m.base, m.path)
+        if key not in seen:
+            seen.add(key)
+            unique.append(m)
+    plan.group = unique
+    pads_seen: set[str] = set()
+    pads: list[PadAlign] = []
+    for p in plan.pads:
+        if p.base not in pads_seen:
+            pads_seen.add(p.base)
+            pads.append(p)
+    plan.pads = pads
+    # A structure in the group region cannot also be padded in place.
+    grouped_bases = {m.base for m in plan.group if not m.path}
+    plan.pads = [p for p in plan.pads if p.base not in grouped_bases]

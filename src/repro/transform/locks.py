@@ -1,0 +1,70 @@
+"""Source-level rendering of lock padding.
+
+"Locks are also padded, to the size of the cache block, rather than
+allocated with the write-shared data they protect" (paper, section 3.2).
+Standalone locks get trailing pad words; lock arrays become arrays of
+padded lock structs (``l[i]`` stays valid through the ``.v`` rewrite);
+``lock_t`` fields inside structs are placed on their own block by the
+adjusted struct layout.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.lang import ctypes as T
+from repro.lang.checker import CheckedProgram
+from repro.transform.plan import TransformPlan
+
+
+@dataclass(slots=True)
+class LockRendering:
+    #: lock arrays re-declared with padded elements (l[i] -> l[i].v)
+    padded_lock_arrays: dict[str, T.CType]
+    decl_lines: list[str]
+    notes: list[str]
+
+
+def render_locks(
+    checked: CheckedProgram,
+    plan: TransformPlan,
+    *,
+    block_size: int,
+) -> LockRendering:
+    padded_lock_arrays: dict[str, T.CType] = {}
+    decl_lines: list[str] = []
+    notes: list[str] = []
+    pad_ints = max((block_size - T.LOCK.size) // 4, 1)
+    for lp in plan.lock_pads:
+        if lp.base is not None:
+            sym = checked.symtab.globals.get(lp.base)
+            if sym is None:
+                notes.append(f"lock {lp.base!r} is not a global")
+                continue
+            ty = sym.type
+            if isinstance(ty, T.ArrayType):
+                decl_lines.append(f"struct __lock_{lp.base}_t {{")
+                decl_lines.append("    lock_t v;")
+                decl_lines.append(f"    int __pad[{pad_ints}];")
+                decl_lines.append("};")
+                decl_lines.append(
+                    f"struct __lock_{lp.base}_t {lp.base}[{ty.dims[0]}];"
+                )
+                padded_lock_arrays[lp.base] = ty.elem
+            else:
+                decl_lines.append(f"lock_t {lp.base};")
+                decl_lines.append(
+                    f"int __pad_{lp.base}[{pad_ints}];"
+                    "  // the lock owns its cache block"
+                )
+        elif lp.struct_field is not None:
+            sname, fname = lp.struct_field
+            notes.append(
+                f"lock field struct {sname}.{fname} placed on its own block "
+                "by the adjusted struct layout"
+            )
+    return LockRendering(
+        padded_lock_arrays=padded_lock_arrays,
+        decl_lines=decl_lines,
+        notes=notes,
+    )

@@ -1,0 +1,67 @@
+"""Source-level rendering of pad & align.
+
+Scalars get trailing pad words (and block alignment in the layout);
+arrays of write-shared elements are re-declared as arrays of padded
+element structs, with ``a[i]`` rewritten to ``a[i].v``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.lang import ctypes as T
+from repro.lang.checker import CheckedProgram
+from repro.lang.printer import format_decl
+from repro.transform.plan import TransformPlan
+
+
+@dataclass(slots=True)
+class PadRendering:
+    #: arrays re-declared with padded element structs (a[i] -> a[i].v)
+    padded_arrays: dict[str, T.CType]  # name -> original elem type
+    decl_lines: list[str]
+    notes: list[str]
+
+
+def render_pads(
+    checked: CheckedProgram,
+    plan: TransformPlan,
+    *,
+    block_size: int,
+) -> PadRendering:
+    padded_arrays: dict[str, T.CType] = {}
+    decl_lines: list[str] = []
+    notes: list[str] = []
+    for pad in plan.pads:
+        sym = checked.symtab.globals.get(pad.base)
+        if sym is None:
+            notes.append(f"pad target {pad.base!r} is not a global")
+            continue
+        ty = sym.type
+        if isinstance(ty, T.ArrayType) and pad.per_element:
+            if len(ty.dims) != 1:
+                notes.append(f"{pad.base}: multi-dim pad handled by layout only")
+                continue
+            elem = ty.elem
+            pad_ints = max((block_size - elem.size) // 4, 1)
+            decl_lines.append(f"struct __pad_{pad.base}_t {{")
+            decl_lines.append(f"    {format_decl('v', elem)};")
+            decl_lines.append(f"    int __pad[{pad_ints}];")
+            decl_lines.append("};")
+            decl_lines.append(
+                f"struct __pad_{pad.base}_t {pad.base}[{ty.dims[0]}];"
+            )
+            padded_arrays[pad.base] = elem
+        else:
+            size = ty.size if not isinstance(ty, T.ArrayType) else ty.size
+            pad_ints = max((_round_up(size, block_size) - size) // 4, 1)
+            decl_lines.append(f"{format_decl(pad.base, ty)};")
+            decl_lines.append(
+                f"int __pad_{pad.base}[{pad_ints}];"
+                "  // pad to a cache-block boundary"
+            )
+    return PadRendering(padded_arrays=padded_arrays, decl_lines=decl_lines, notes=notes)
+
+
+def _round_up(n: int, align: int) -> int:
+    return (n + align - 1) // align * align

@@ -1,0 +1,159 @@
+"""Transformation plans: the output of the decision heuristics and the
+input to both the layout engine and the source-to-source rewriter.
+
+A plan is data, not code: it names the structures to transform and how.
+The same plan drives (a) the transformed :class:`~repro.layout.datalayout.DataLayout`
+used by the tracing interpreter (exact addresses) and (b) the rewritten
+source rendering (the paper is a source-to-source restructurer).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.rsd.descriptor import RSD
+
+
+@dataclass(frozen=True, slots=True)
+class GroupMember:
+    """One vector (or per-element struct field) placed into the
+    group-and-transpose region.
+
+    ``base`` is the global array; ``path`` selects a field of the element
+    struct (empty = the whole element).  ``partition`` maps element index
+    to owning process; for owned scalars ``partition`` is None and
+    ``owner`` gives the process.
+    """
+
+    base: str
+    path: tuple[str, ...] = ()
+    partition: Optional[RSD] = None
+    owner: Optional[int] = None
+
+    def __str__(self) -> str:
+        tgt = self.base + "".join(f".{p}" for p in self.path)
+        if self.partition is not None:
+            return f"{tgt}{self.partition}"
+        return f"{tgt}@proc{self.owner}"
+
+
+@dataclass(frozen=True, slots=True)
+class Indirection:
+    """Move field ``field`` of heap-record type ``struct`` into
+    per-process arenas, leaving a pointer in the record (Figure 2b)."""
+
+    struct: str
+    field: str
+
+    def __str__(self) -> str:
+        return f"struct {self.struct}.{self.field} -> per-process arena"
+
+
+@dataclass(frozen=True, slots=True)
+class PadAlign:
+    """Pad-and-align a global to cache-block boundaries.
+
+    ``per_element`` pads each array element to a block (used for arrays
+    of write-shared elements); otherwise the object as a whole gets its
+    own block-aligned allocation.
+    """
+
+    base: str
+    per_element: bool = False
+
+    def __str__(self) -> str:
+        unit = "each element" if self.per_element else "object"
+        return f"pad&align {self.base} ({unit})"
+
+
+@dataclass(frozen=True, slots=True)
+class LockPad:
+    """Pad a lock to a full cache block: a standalone lock global, every
+    element of a lock array, or a ``lock_t`` field inside a struct."""
+
+    base: Optional[str] = None
+    struct_field: Optional[tuple[str, str]] = None
+
+    def __str__(self) -> str:
+        if self.base is not None:
+            return f"pad lock {self.base}"
+        assert self.struct_field is not None
+        s, f = self.struct_field
+        return f"pad lock struct {s}.{f}"
+
+
+@dataclass(slots=True)
+class Decision:
+    """Audit record: why a structure was (or was not) transformed."""
+
+    target: str
+    action: str          # "group_transpose" | "indirection" | "pad_align" | "lock_pad" | "none"
+    reason: str
+
+    def __str__(self) -> str:
+        return f"{self.target}: {self.action} — {self.reason}"
+
+
+@dataclass(slots=True)
+class TransformPlan:
+    """The complete set of data transformations for one program at one
+    process count."""
+
+    nprocs: int = 0
+    group: list[GroupMember] = field(default_factory=list)
+    indirections: list[Indirection] = field(default_factory=list)
+    pads: list[PadAlign] = field(default_factory=list)
+    lock_pads: list[LockPad] = field(default_factory=list)
+    #: struct type names whose every instance is padded to a block
+    #: multiple (used by the profile-guided [TLH94] baseline, which pads
+    #: records rather than relocating fields)
+    record_pads: list[str] = field(default_factory=list)
+    decisions: list[Decision] = field(default_factory=list)
+
+    @property
+    def is_empty(self) -> bool:
+        return not (
+            self.group or self.indirections or self.pads
+            or self.lock_pads or self.record_pads
+        )
+
+    def restricted_to(self, kinds: set[str]) -> "TransformPlan":
+        """A copy applying only the named transformation kinds — used by
+        the Table 2 attribution experiment ("fraction of reduction by
+        transformation").  Kinds: ``group_transpose``, ``indirection``,
+        ``pad_align``, ``locks``."""
+        return TransformPlan(
+            nprocs=self.nprocs,
+            group=list(self.group) if "group_transpose" in kinds else [],
+            indirections=list(self.indirections) if "indirection" in kinds else [],
+            pads=list(self.pads) if "pad_align" in kinds else [],
+            lock_pads=list(self.lock_pads) if "locks" in kinds else [],
+            record_pads=list(self.record_pads) if "pad_align" in kinds else [],
+            decisions=list(self.decisions),
+        )
+
+    def describe(self) -> str:
+        lines = [f"TransformPlan (nprocs={self.nprocs}):"]
+        if self.group:
+            lines.append("  group & transpose:")
+            lines.extend(f"    {m}" for m in self.group)
+        if self.indirections:
+            lines.append("  indirection:")
+            lines.extend(f"    {m}" for m in self.indirections)
+        if self.pads:
+            lines.append("  pad & align:")
+            lines.extend(f"    {m}" for m in self.pads)
+        if self.record_pads:
+            lines.append("  record padding:")
+            lines.extend(f"    struct {s} padded to block multiple" for s in self.record_pads)
+        if self.lock_pads:
+            lines.append("  lock padding:")
+            lines.extend(f"    {m}" for m in self.lock_pads)
+        if self.is_empty:
+            lines.append("  (no transformations)")
+        return "\n".join(lines)
+
+
+#: Transformation kind names used by selective application.
+ALL_KINDS = frozenset({"group_transpose", "indirection", "pad_align", "locks"})

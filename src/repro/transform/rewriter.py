@@ -1,0 +1,260 @@
+"""Source-to-source rendering of a transformed program.
+
+The paper's system is a source-to-source restructurer built on
+Parafrase-2; this module produces the equivalent view of a
+:class:`~repro.transform.plan.TransformPlan`: a complete transformed
+program with re-laid declarations and rewritten accesses.
+
+The rendered text and the simulated
+:class:`~repro.layout.datalayout.DataLayout` derive from the same plan;
+the layout is what the tracing interpreter executes (exactly), while the
+rendering is the human-readable artifact.  For plans without
+indirection the rendering is itself an executable program with identical
+observable behaviour (the test suite checks this); indirection needs the
+generated arena-setup code the runtime protocol stands in for, so those
+renderings are annotated as documentation.
+"""
+
+from __future__ import annotations
+
+from repro.lang import astnodes as A
+from repro.lang import ctypes as T
+from repro.lang.checker import CheckedProgram, compile_source
+from repro.lang.parser import parse_expression
+from repro.lang.printer import Printer, format_decl, format_expr, type_prefix_suffix
+from repro.transform.group_transpose import REGION_NAME, render_group
+from repro.transform.indirection import render_indirections
+from repro.transform.locks import render_locks
+from repro.transform.pad_align import render_pads
+from repro.transform.plan import TransformPlan
+
+
+def _copy_expr(e: A.Expr) -> A.Expr:
+    return parse_expression(format_expr(e))
+
+
+class _Rewriter:
+    def __init__(
+        self,
+        checked: CheckedProgram,
+        plan: TransformPlan,
+        block_size: int,
+        nprocs: int,
+    ):
+        self.checked = checked
+        self.plan = plan
+        self.group = render_group(
+            checked, plan, block_size=block_size, nprocs=nprocs
+        )
+        self.pads = render_pads(checked, plan, block_size=block_size)
+        self.locks = render_locks(checked, plan, block_size=block_size)
+        self.indir = render_indirections(checked, plan)
+        self.owned_scalars = {
+            m.base: (m.owner or 0)
+            for m in plan.group
+            if not m.path and m.partition is None
+        }
+        self.elem_padded = set(self.pads.padded_arrays) | set(
+            self.locks.padded_lock_arrays
+        )
+        #: globals whose declarations are replaced by transformed ones
+        self.replaced_globals = (
+            set(self.group.region_members)
+            | set(self.group.transposed)
+            | {p.base for p in plan.pads if p.base in checked.symtab.globals}
+            | {
+                lp.base
+                for lp in plan.lock_pads
+                if lp.base is not None and lp.base in checked.symtab.globals
+            }
+        )
+
+    # -- expression rewriting --------------------------------------------------
+
+    def expr(self, e: A.Expr) -> A.Expr:
+        if isinstance(e, A.Ident):
+            if e.name in self.owned_scalars and e.name in self.group.region_members:
+                owner = self.owned_scalars[e.name]
+                return A.Member(
+                    base=A.Index(
+                        base=A.Ident(name=REGION_NAME),
+                        index=A.IntLit(value=owner),
+                    ),
+                    name=e.name,
+                )
+            return A.Ident(name=e.name)
+        if isinstance(e, A.IntLit):
+            return A.IntLit(value=e.value)
+        if isinstance(e, A.FloatLit):
+            return A.FloatLit(value=e.value)
+        if isinstance(e, A.Index):
+            base = e.base
+            idx = self.expr(e.index)
+            if isinstance(base, A.Ident):
+                name = base.name
+                if name in self.group.region_members:
+                    return A.Member(
+                        base=A.Index(base=A.Ident(name=REGION_NAME), index=idx),
+                        name=name,
+                    )
+                if name in self.group.transposed:
+                    idx2 = _copy_expr(idx)
+                    return A.Index(
+                        base=A.Index(
+                            base=A.Ident(name=f"__fs_{name}"),
+                            index=A.Call(name=f"__fs_owner_{name}", args=[idx]),
+                        ),
+                        index=A.Call(name=f"__fs_slot_{name}", args=[idx2]),
+                    )
+                if name in self.elem_padded:
+                    return A.Member(
+                        base=A.Index(base=A.Ident(name=name), index=idx),
+                        name="v",
+                    )
+            return A.Index(base=self.expr(e.base), index=idx)
+        if isinstance(e, A.Member):
+            new = A.Member(base=self.expr(e.base), name=e.name, arrow=e.arrow)
+            sname = self._struct_of(e.base)
+            if sname is not None and (sname, e.name) in self.indir.fields:
+                return A.UnOp(op="*", operand=new)
+            return new
+        if isinstance(e, A.UnOp):
+            return A.UnOp(op=e.op, operand=self.expr(e.operand))
+        if isinstance(e, A.BinOp):
+            return A.BinOp(op=e.op, left=self.expr(e.left), right=self.expr(e.right))
+        if isinstance(e, A.Call):
+            return A.Call(name=e.name, args=[self.expr(a) for a in e.args])
+        if isinstance(e, A.Alloc):
+            return A.Alloc(
+                type_name=e.type_name,
+                elem_type=e.elem_type,
+                count=self.expr(e.count) if e.count is not None else None,
+            )
+        raise TypeError(f"cannot rewrite {type(e).__name__}")  # pragma: no cover
+
+    def _struct_of(self, base: A.Expr) -> str | None:
+        ty = base.ty
+        if isinstance(ty, T.PointerType):
+            ty = ty.target
+        if isinstance(ty, T.StructType):
+            return ty.name
+        return None
+
+    # -- statement rewriting -----------------------------------------------------
+
+    def stmt(self, s: A.Stmt) -> A.Stmt:
+        if isinstance(s, A.Block):
+            return A.Block(body=[self.stmt(x) for x in s.body])
+        if isinstance(s, A.VarDecl):
+            return A.VarDecl(
+                name=s.name,
+                type=s.type,
+                init=self.expr(s.init) if s.init is not None else None,
+                is_global=s.is_global,
+            )
+        if isinstance(s, A.Assign):
+            return A.Assign(
+                target=self.expr(s.target), value=self.expr(s.value), op=s.op
+            )
+        if isinstance(s, A.ExprStmt):
+            return A.ExprStmt(expr=self.expr(s.expr))
+        if isinstance(s, A.If):
+            return A.If(
+                cond=self.expr(s.cond),
+                then=self.stmt(s.then),
+                orelse=self.stmt(s.orelse) if s.orelse is not None else None,
+            )
+        if isinstance(s, A.While):
+            return A.While(cond=self.expr(s.cond), body=self.stmt(s.body))
+        if isinstance(s, A.For):
+            return A.For(
+                init=self.stmt(s.init) if s.init is not None else None,
+                cond=self.expr(s.cond) if s.cond is not None else None,
+                update=self.stmt(s.update) if s.update is not None else None,
+                body=self.stmt(s.body),
+            )
+        if isinstance(s, A.Return):
+            return A.Return(value=self.expr(s.value) if s.value is not None else None)
+        if isinstance(s, A.Break):
+            return A.Break()
+        if isinstance(s, A.Continue):
+            return A.Continue()
+        raise TypeError(f"cannot rewrite {type(s).__name__}")  # pragma: no cover
+
+    # -- whole program --------------------------------------------------------------
+
+    def render(self) -> str:
+        lines: list[str] = []
+        emit = lines.append
+        emit("// Transformed by the false-sharing restructurer")
+        emit(f"// plan: {self.plan.describe().replace(chr(10), chr(10) + '// ')}")
+        for note in (
+            self.group.notes + self.pads.notes + self.locks.notes + self.indir.notes
+        ):
+            emit(f"// note: {note}")
+        emit("")
+        indirected_structs = {s for s, _f in self.indir.fields}
+        for sd in self.checked.program.structs:
+            if sd.name in indirected_structs:
+                lines.extend(self.indir.struct_lines_for(sd.name))
+                emit("")
+                continue
+            emit(f"struct {sd.name} {{")
+            for fname, fty in sd.members:
+                emit(f"    {format_decl(fname, fty)};")
+            emit("};")
+            emit("")
+        if self.group.decl_lines or self.pads.decl_lines or self.locks.decl_lines:
+            emit("// --- transformed shared data ---")
+            lines.extend(self.group.decl_lines)
+            lines.extend(self.pads.decl_lines)
+            lines.extend(self.locks.decl_lines)
+            emit("")
+        remaining = [
+            g
+            for g in self.checked.program.globals
+            if g.name not in self.replaced_globals
+        ]
+        if remaining:
+            for g in remaining:
+                emit(format_decl(g.name, g.type) + ";")
+            emit("")
+        if self.group.helper_lines:
+            emit("// --- owner/slot maps for transposed vectors ---")
+            for helper in self.group.helper_lines:
+                lines.extend(helper.splitlines())
+                emit("")
+        for fn in self.checked.program.funcs:
+            params = ", ".join(format_decl(p.name, p.type) for p in fn.params)
+            prefix, _suffix = type_prefix_suffix(fn.ret)
+            emit(f"{prefix}{fn.name}({params})")
+            printer = Printer()
+            printer.stmt(self.stmt(fn.body))
+            lines.extend(printer.lines)
+            emit("")
+        return "\n".join(lines).rstrip() + "\n"
+
+
+def render_transformed_source(
+    checked: CheckedProgram,
+    plan: TransformPlan,
+    *,
+    block_size: int = 128,
+    nprocs: int = 8,
+) -> str:
+    """Render the source-to-source view of ``plan`` applied to the
+    program."""
+    return _Rewriter(checked, plan, block_size, nprocs).render()
+
+
+def transform_source(
+    source: str,
+    plan: TransformPlan,
+    *,
+    block_size: int = 128,
+    nprocs: int = 8,
+) -> str:
+    """Parse, check, and render in one step."""
+    return render_transformed_source(
+        compile_source(source), plan, block_size=block_size, nprocs=nprocs
+    )

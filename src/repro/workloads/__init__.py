@@ -1,0 +1,38 @@
+"""The paper's ten-benchmark workload suite, as scaled-down kernels in
+the restricted parallel-C language (Table 1)."""
+
+from repro.workloads.base import Workload
+from repro.workloads.fmm import FMM
+from repro.workloads.locusroute import LOCUSROUTE
+from repro.workloads.maxflow import MAXFLOW
+from repro.workloads.mp3d import MP3D
+from repro.workloads.pthor import PTHOR
+from repro.workloads.pverify import PVERIFY
+from repro.workloads.radiosity import RADIOSITY
+from repro.workloads.raytrace import RAYTRACE
+from repro.workloads.registry import (
+    ALL_WORKLOADS,
+    SIMULATION_WORKLOADS,
+    by_name,
+    table1_rows,
+)
+from repro.workloads.topopt import TOPOPT
+from repro.workloads.water import WATER
+
+__all__ = [
+    "Workload",
+    "FMM",
+    "LOCUSROUTE",
+    "MAXFLOW",
+    "MP3D",
+    "PTHOR",
+    "PVERIFY",
+    "RADIOSITY",
+    "RAYTRACE",
+    "TOPOPT",
+    "WATER",
+    "ALL_WORKLOADS",
+    "SIMULATION_WORKLOADS",
+    "by_name",
+    "table1_rows",
+]

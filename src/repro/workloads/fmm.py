@@ -1,0 +1,155 @@
+"""Fmm — adaptive fast multipole method n-body solver [SHHG93].
+
+Paper characteristics: 4395 lines of C; versions N, C and P (SPLASH-2:
+the authors *undid* the hand transformations to produce N).
+False-sharing reduction 90.8%: group&transpose 84.8%, locks 6.0%.
+Maximum speedups: N 16.4 (20), C 33.6 (48+), P 16.4 (20) — Fmm is the
+paper's example where "programmer efforts brought little gain" (the P
+curve tracks N) while the compiler more than doubles the peak.
+
+Fmm is also the case where the false-sharing reduction, although ~90%,
+"was a small proportion of total misses and therefore had little effect
+on the total miss rate": the kernel's force phase streams through body
+arrays larger than the 32 KB first-level cache, so replacement misses
+dominate at low processor counts; the benefit appears as *scalability*.
+
+Structure: bodies are spatially partitioned in blocks (little position
+false sharing — real FMM has spatial locality), while the hot
+per-process interaction counters are pid-indexed vectors interleaved in
+memory — the group&transpose case.
+"""
+
+from __future__ import annotations
+
+from repro.analysis import ProgramAnalysis
+from repro.transform import PadAlign, TransformPlan
+from repro.workloads.base import Workload
+
+_N_BODIES = 480
+_NEIGH = 5
+_ROUNDS = 2
+
+SOURCE = f"""
+// FMM kernel: blocked near-field force sweep plus per-process
+// bookkeeping vectors.
+double px[{_N_BODIES}];
+double py[{_N_BODIES}];
+double mass[{_N_BODIES}];
+double fx[{_N_BODIES}];
+double fy[{_N_BODIES}];
+// hot per-process bookkeeping, interleaved in memory (g&t targets)
+double partial[64];
+int interactions[64];
+int cellwork[64];
+int treedepth[64];
+lock_t treelock;
+int tree_built;
+int chunk;
+
+void interact(int b, int pid)
+{{
+    int k;
+    int j;
+    double dx;
+    double dy;
+    double acc;
+    acc = 0.0;
+    for (k = 1; k <= {_NEIGH}; k++) {{
+        j = b + k;
+        if (j >= {_N_BODIES}) {{
+            j = j - {_N_BODIES};
+        }}
+        dx = px[j] - px[b];
+        dy = py[j] - py[b];
+        acc = acc + mass[j] / (dx * dx + dy * dy + 0.25);
+        // per-process bookkeeping on every interaction: these vectors
+        // are what the compiler groups and transposes
+        interactions[pid] += 1;
+        partial[pid] = partial[pid] + acc * 0.125;
+    }}
+    fx[b] = fx[b] + acc * 0.5;
+    fy[b] = fy[b] + acc * 0.25;
+    cellwork[pid] += 1;
+}}
+
+void worker(int pid)
+{{
+    int b;
+    int round;
+    for (round = 0; round < {_ROUNDS}; round++) {{
+        // build phase: one process refreshes the shared tree root
+        if (pid == 0) {{
+            lock(&treelock);
+            tree_built = tree_built + 1;
+            unlock(&treelock);
+        }}
+        barrier();
+        // force phase: blocked spatial partition
+        for (b = pid * chunk; b < pid * chunk + chunk; b++) {{
+            if (b < {_N_BODIES}) {{
+                interact(b, pid);
+            }}
+        }}
+        barrier();
+        // update phase: integrate positions of owned bodies
+        for (b = pid * chunk; b < pid * chunk + chunk; b++) {{
+            if (b < {_N_BODIES}) {{
+                px[b] = px[b] + fx[b] * 0.001;
+                py[b] = py[b] + fy[b] * 0.001;
+                treedepth[pid] = treedepth[pid] + 1;
+            }}
+        }}
+        barrier();
+    }}
+}}
+
+int main()
+{{
+    int i;
+    int p;
+    for (i = 0; i < {_N_BODIES}; i++) {{
+        px[i] = tofloat(rnd(i) % 1000) * 0.01;
+        py[i] = tofloat(rnd(i + 5000) % 1000) * 0.01;
+        mass[i] = 1.0 + tofloat(rnd(i + 9000) % 100) * 0.01;
+        fx[i] = 0.0;
+        fy[i] = 0.0;
+    }}
+    for (i = 0; i < 64; i++) {{
+        partial[i] = 0.0;
+        interactions[i] = 0;
+        cellwork[i] = 0;
+        treedepth[i] = 0;
+    }}
+    tree_built = 0;
+    chunk = {_N_BODIES} / nprocs() + 1;
+    for (p = 0; p < nprocs(); p++) {{
+        create(worker, p);
+    }}
+    wait_for_end();
+    print(interactions[0]);
+    return 0;
+}}
+"""
+
+
+def _programmer_plan(pa: ProgramAnalysis) -> TransformPlan:
+    """The paper: for Fmm "programmer efforts brought little gain" —
+    model it as a lone, unimportant pad."""
+    plan = TransformPlan(nprocs=pa.nprocs)
+    plan.pads.append(PadAlign(base="tree_built", per_element=False))
+    return plan
+
+
+FMM = Workload(
+    name="Fmm",
+    description="Fast multipole method (n-body)",
+    paper_lines=4395,
+    versions="NCP",
+    source=SOURCE,
+    fig3_procs=12,
+    programmer_plan=_programmer_plan,
+    expected_transforms=("group_transpose", "locks"),
+    paper_max_speedup={"N": (16.4, 20), "C": (33.6, 48), "P": (16.4, 20)},
+    cpi=20.0,
+    paper_fs_reduction=90.8,
+)

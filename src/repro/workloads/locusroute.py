@@ -1,0 +1,143 @@
+"""LocusRoute — VLSI standard cell router [SWG91, original SPLASH].
+
+Paper characteristics: 6709 lines of C; the original SPLASH programs
+were already hand-optimized and were left as-is, so only **C and P**
+versions are reported: compiler 12.3 (20) vs programmer 12.0 (20) —
+nearly identical.  The compiler's remaining edge: the programmer left
+"locks unpadded or associated them with the data they protected"
+(LocusRoute is named alongside Radiosity and MP3D for this).
+
+The kernel routes wires through a shared cost grid: rows are blocked per
+process (good locality), per-process route counters are pid-indexed
+vectors, and region locks guard boundary rows.
+"""
+
+from __future__ import annotations
+
+from repro.analysis import ProgramAnalysis
+from repro.rsd import Affine, Point, RSD, Range
+from repro.transform import GroupMember, TransformPlan
+from repro.workloads.base import Workload
+
+_N_ROWS = 64
+_N_COLS = 48
+_N_WIRES = 288
+_N_LOCKS = 8
+
+SOURCE = f"""
+// LocusRoute kernel: cost-grid routing with blocked row regions.
+int costgrid[{_N_ROWS}][{_N_COLS}];
+int wire_row[{_N_WIRES}];
+int wire_len[{_N_WIRES}];
+lock_t rowlock[{_N_LOCKS}];
+// per-process routing counters (g&t targets)
+int routed[64];
+int rerouted[64];
+int cost_sum[64];
+int rowchunk;
+
+void route_wire(int w, int pid)
+{{
+    int r;
+    int c;
+    int len;
+    int cost;
+    r = wire_row[w];
+    len = wire_len[w];
+    cost = 0;
+    lock(&rowlock[r * {_N_LOCKS} / {_N_ROWS}]);
+    // fixed 16-column span: the row index is data-dependent but the
+    // column walk is unit stride, so the grid keeps spatial locality
+    // and is not a pad&align candidate
+    for (c = 0; c < 16; c++) {{
+        costgrid[r][c] = costgrid[r][c] + len % 3 + 1;
+        cost = cost + costgrid[r][c];
+    }}
+    unlock(&rowlock[r * {_N_LOCKS} / {_N_ROWS}]);
+    routed[pid] += 1;
+    cost_sum[pid] += cost;
+    if (cost > len * 4) {{
+        rerouted[pid] += 1;
+    }}
+}}
+
+void worker(int pid)
+{{
+    int w;
+    int chunk;
+    chunk = {_N_WIRES} / nprocs() + 1;
+    // blocked wire partition: a process's wires live in its own row
+    // region, so region locks are mostly uncontended
+    for (w = pid * chunk; w < pid * chunk + chunk; w++) {{
+        if (w < {_N_WIRES}) {{
+            route_wire(w, pid);
+        }}
+    }}
+    barrier();
+    // second pass: re-route the expensive wires
+    for (w = pid * chunk; w < pid * chunk + chunk; w++) {{
+        if (w < {_N_WIRES}) {{
+            if (wire_len[w] % 3 == 0) {{
+                route_wire(w, pid);
+            }}
+        }}
+    }}
+}}
+
+int main()
+{{
+    int i;
+    int j;
+    int p;
+    for (i = 0; i < {_N_ROWS}; i++) {{
+        for (j = 0; j < {_N_COLS}; j++) {{
+            costgrid[i][j] = rnd(i * 100 + j) % 3;
+        }}
+    }}
+    for (i = 0; i < {_N_WIRES}; i++) {{
+        // wires cluster in the row region of the process that owns them
+        // cyclically, with some straying into neighbour regions
+        wire_row[i] = (i * {_N_ROWS} / {_N_WIRES} + rnd(i) % 3) % {_N_ROWS};
+        wire_len[i] = 6 + rnd(i + 900) % 18;
+    }}
+    for (i = 0; i < 64; i++) {{
+        routed[i] = 0;
+        rerouted[i] = 0;
+        cost_sum[i] = 0;
+    }}
+    rowchunk = {_N_ROWS} / nprocs();
+    for (p = 0; p < nprocs(); p++) {{
+        create(worker, p);
+    }}
+    wait_for_end();
+    print(routed[0]);
+    return 0;
+}}
+"""
+
+
+def _programmer_plan(pa: ProgramAnalysis) -> TransformPlan:
+    """The programmer version groups the counters (the original SPLASH
+    code kept per-process stats) but leaves the region locks unpadded
+    and co-allocated — the paper's specific complaint."""
+    plan = TransformPlan(nprocs=pa.nprocs)
+    pdv_point = RSD((Point(Affine.pdv()),))
+    plan.group.append(GroupMember("routed", (), pdv_point))
+    plan.group.append(GroupMember("rerouted", (), pdv_point))
+    plan.group.append(GroupMember("cost_sum", (), pdv_point))
+    return plan
+
+
+LOCUSROUTE = Workload(
+    name="LocusRoute",
+    description="VLSI standard cell router",
+    paper_lines=6709,
+    versions="CP",
+    source=SOURCE,
+    fig3_procs=12,
+    programmer_plan=_programmer_plan,
+    expected_transforms=("group_transpose", "locks"),
+    paper_max_speedup={"C": (12.3, 20), "P": (12.0, 20)},
+    cpi=14.0,
+    paper_fs_reduction=None,
+)

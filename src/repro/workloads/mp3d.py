@@ -1,0 +1,121 @@
+"""Mp3d — rarefied fluid flow (particle-in-cell) [SWG91, original SPLASH].
+
+Paper characteristics: 1653 lines of C; only **C and P** versions are
+reported: compiler 2.9 (28) vs programmer 1.3 (4).  Mp3d is notoriously
+communication-bound (particles constantly scatter updates into shared
+space cells), so even the compiler version scales poorly — but the
+programmer version collapses at 4 processors because its locks were left
+unpadded and co-allocated with the data they protect (the paper names
+MP3D for exactly this).
+
+The kernel moves particles (per-process, cyclically partitioned state
+arrays — g&t) and scatters counts into space cells whose index is
+data-dependent (write-shared without locality — pad&align).
+"""
+
+from __future__ import annotations
+
+from repro.analysis import ProgramAnalysis
+from repro.rsd import Affine, Point, RSD
+from repro.transform import GroupMember, TransformPlan
+from repro.workloads.base import Workload
+
+_N_PART = 360
+_N_CELLS = 48
+_STEPS = 4
+
+SOURCE = f"""
+// Mp3d kernel: particle-in-cell Monte Carlo step loop.
+double pos[{_N_PART}];
+double vel[{_N_PART}];
+int pcell[{_N_PART}];
+int cellcount[{_N_CELLS}];
+int collisions[{_N_CELLS}];
+lock_t celllock;
+// per-process particle counters (g&t targets)
+int moved[64];
+int bounced[64];
+
+void move_particle(int i, int pid)
+{{
+    int c;
+    pos[i] = pos[i] + vel[i] * 0.05;
+    if (pos[i] > 8.0) {{
+        pos[i] = pos[i] - 8.0;
+        bounced[pid] += 1;
+    }}
+    // space-cell scatter: the cell index depends on the particle's
+    // position — write-shared, no processor or spatial locality
+    c = toint(pos[i] * 6.0) % {_N_CELLS};
+    cellcount[c] += 1;
+    if (cellcount[c] % 7 == 0) {{
+        lock(&celllock);
+        collisions[c] += 1;
+        vel[i] = 0.0 - vel[i] * 0.9;
+        unlock(&celllock);
+    }}
+    moved[pid] += 1;
+}}
+
+void worker(int pid)
+{{
+    int i;
+    int step;
+    for (step = 0; step < {_STEPS}; step++) {{
+        for (i = pid; i < {_N_PART}; i += nprocs()) {{
+            move_particle(i, pid);
+        }}
+        barrier();
+    }}
+}}
+
+int main()
+{{
+    int i;
+    int p;
+    for (i = 0; i < {_N_PART}; i++) {{
+        pos[i] = tofloat(rnd(i) % 800) * 0.01;
+        vel[i] = 0.2 + tofloat(rnd(i + 3000) % 100) * 0.01;
+        pcell[i] = 0;
+    }}
+    for (i = 0; i < {_N_CELLS}; i++) {{
+        cellcount[i] = 0;
+        collisions[i] = 0;
+    }}
+    for (i = 0; i < 64; i++) {{
+        moved[i] = 0;
+        bounced[i] = 0;
+    }}
+    for (p = 0; p < nprocs(); p++) {{
+        create(worker, p);
+    }}
+    wait_for_end();
+    print(moved[0]);
+    return 0;
+}}
+"""
+
+
+def _programmer_plan(pa: ProgramAnalysis) -> TransformPlan:
+    """The programmer version: a minor grouping, but locks unpadded and
+    co-allocated with the cell data, and no padding of the scatter
+    arrays — the combination that makes it collapse at 4 processors."""
+    plan = TransformPlan(nprocs=pa.nprocs)
+    pdv_point = RSD((Point(Affine.pdv()),))
+    plan.group.append(GroupMember("moved", (), pdv_point))
+    return plan
+
+
+MP3D = Workload(
+    name="Mp3d",
+    description="Rarefied fluid flow",
+    paper_lines=1653,
+    versions="CP",
+    source=SOURCE,
+    fig3_procs=12,
+    programmer_plan=_programmer_plan,
+    expected_transforms=("pad_align", "locks", "group_transpose"),
+    paper_max_speedup={"C": (2.9, 28), "P": (1.3, 4)},
+    cpi=2.0,
+    paper_fs_reduction=None,
+)

@@ -1,0 +1,139 @@
+"""Pthor — parallel logic-level circuit simulator [SWG91, original
+SPLASH].
+
+Paper characteristics: 9420 lines of C; only **C and P** versions are
+reported: compiler 2.8 (4) vs programmer 2.2 (4) — both peak at 4
+processors, because PTHOR is bound by its central event-queue
+serialization, not by memory layout.  The compiler still wins: "the
+programmer missed opportunities to apply group & transpose in Pthor"
+and "pad & align in Radiosity and Pthor".
+
+The kernel drains a centrally-locked event queue (the serialization),
+evaluates circuit elements reached through a cyclically partitioned
+pointer array (per-process bookkeeping — indirection/g&t material), and
+keeps a write-shared simulation clock the programmer never padded.
+"""
+
+from __future__ import annotations
+
+from repro.analysis import ProgramAnalysis
+from repro.rsd import Affine, Point, RSD
+from repro.transform import GroupMember, LockPad, TransformPlan
+from repro.workloads.base import Workload
+
+_N_ELEMS = 192
+_N_EVENTS = 480
+
+SOURCE = f"""
+// Pthor kernel: event-driven element evaluation with a central queue.
+struct element {{
+    int state;
+    int evals;
+    int delay;
+    int fanout;
+}};
+
+struct element *elems[{_N_ELEMS}];
+int eventq[{_N_EVENTS}];
+int qhead;
+int simclock;
+int deadlocked;
+lock_t qlock;
+// per-process activity counters (g&t targets)
+int activated[64];
+int evaluated[64];
+
+void eval_element(int e, int pid)
+{{
+    int k;
+    int probe;
+    elems[e]->evals += 1;
+    elems[e]->state = (elems[e]->state + elems[e]->delay) % 8;
+    evaluated[pid] += 1;
+    // walk the fanout neighbourhood (read traffic = per-event work)
+    probe = e;
+    for (k = 0; k < 6; k++) {{
+        probe = (probe + elems[probe]->fanout + 1) % {_N_ELEMS};
+        if (elems[probe]->state == 0) {{
+            activated[pid] += 1;
+        }}
+    }}
+}}
+
+void worker(int pid)
+{{
+    int ev;
+    int e;
+    ev = 0;
+    while (ev >= 0) {{
+        // central event queue: the serialization that caps scaling at
+        // ~4 processors no matter the data layout
+        lock(&qlock);
+        ev = qhead;
+        qhead = qhead + 1;
+        simclock = simclock + 1;
+        unlock(&qlock);
+        if (ev >= {_N_EVENTS}) {{
+            ev = -1;
+        }} else {{
+            e = eventq[ev];
+            eval_element(e, pid);
+        }}
+    }}
+}}
+
+int main()
+{{
+    int i;
+    int p;
+    struct element *ep;
+    for (i = 0; i < {_N_ELEMS}; i++) {{
+        ep = alloc(struct element);
+        ep->state = rnd(i) % 8;
+        ep->evals = 0;
+        ep->delay = 1 + rnd(i + 400) % 5;
+        ep->fanout = rnd(i + 800) % 4;
+        elems[i] = ep;
+    }}
+    for (i = 0; i < {_N_EVENTS}; i++) {{
+        eventq[i] = rnd(i + 1200) % {_N_ELEMS};
+    }}
+    qhead = 0;
+    simclock = 0;
+    deadlocked = 0;
+    for (i = 0; i < 64; i++) {{
+        activated[i] = 0;
+        evaluated[i] = 0;
+    }}
+    for (p = 0; p < nprocs(); p++) {{
+        create(worker, p);
+    }}
+    wait_for_end();
+    print(simclock);
+    return 0;
+}}
+"""
+
+
+def _programmer_plan(pa: ProgramAnalysis) -> TransformPlan:
+    """The programmer padded the queue lock but "missed opportunities to
+    apply group & transpose" (the counters) and "pad & align" (the
+    clock/head scalars)."""
+    plan = TransformPlan(nprocs=pa.nprocs)
+    plan.lock_pads.append(LockPad(base="qlock"))
+    return plan
+
+
+PTHOR = Workload(
+    name="Pthor",
+    description="Circuit simulator",
+    paper_lines=9420,
+    versions="CP",
+    source=SOURCE,
+    fig3_procs=12,
+    programmer_plan=_programmer_plan,
+    expected_transforms=("group_transpose", "pad_align", "locks"),
+    paper_max_speedup={"C": (2.8, 4), "P": (2.2, 4)},
+    cpi=3.0,
+    paper_fs_reduction=None,
+)

@@ -1,0 +1,130 @@
+"""Radiosity — equilibrium distribution of light [SGL94].
+
+Paper characteristics: 10908 lines of C; versions N, C and P (SPLASH-2,
+hand transformations undone for N).  False-sharing reduction 93.5%:
+group&transpose 85.6%, locks 6.8%, pad&align 1.0%.  Maximum speedups:
+N 7.0 (8), C 19.2 (28), P 7.4 (8).  The programmer version "suffered"
+from locks left unpadded and "associated ... with the data they
+protected", and a missed pad&align.  Radiosity is also the case where
+"the absolute miss rate value was small", so the compiler's win shows up
+as scalability, not raw time at low processor counts.
+
+The kernel distributes patch-interaction tasks from a shared queue whose
+head counter and lock sit next to each other (the co-allocation the
+paper calls out); per-process task/energy counters are pid-indexed
+interleaved vectors (the g&t targets).
+"""
+
+from __future__ import annotations
+
+from repro.analysis import ProgramAnalysis
+from repro.rsd import Affine, Point, RSD
+from repro.transform import GroupMember, TransformPlan
+from repro.workloads.base import Workload
+
+_N_TASKS = 420
+_N_PATCH = 96
+
+SOURCE = f"""
+// Radiosity kernel: task-queue driven patch energy redistribution.
+lock_t qlock;
+int qhead;
+int taskpatch[{_N_TASKS}];
+double energy[{_N_PATCH}];
+double formfactor[{_N_PATCH}];
+// per-process counters, interleaved in memory (g&t targets)
+int tasks_done[64];
+double gathered[64];
+int rays_cast[64];
+
+void process_task(int t, int pid)
+{{
+    int patch;
+    int k;
+    double e;
+    patch = taskpatch[t];
+    e = 0.0;
+    // gather contributions (read traffic with good locality)
+    for (k = 0; k < 6; k++) {{
+        e = e + formfactor[(patch + k) % {_N_PATCH}] * 0.125;
+    }}
+    energy[patch] = energy[patch] + e;
+    // hot per-process bookkeeping
+    tasks_done[pid] += 1;
+    gathered[pid] = gathered[pid] + e;
+    rays_cast[pid] += 6;
+}}
+
+void worker(int pid)
+{{
+    int t;
+    int grab;
+    int k;
+    grab = 0;
+    while (grab < {_N_TASKS}) {{
+        // grab a chunk of tasks per lock acquisition so the queue does
+        // not serialize the whole computation
+        lock(&qlock);
+        grab = qhead;
+        qhead = qhead + 4;
+        unlock(&qlock);
+        for (k = grab; k < grab + 4; k++) {{
+            if (k < {_N_TASKS}) {{
+                process_task(k, pid);
+            }}
+        }}
+    }}
+}}
+
+int main()
+{{
+    int i;
+    int p;
+    qhead = 0;
+    for (i = 0; i < {_N_TASKS}; i++) {{
+        taskpatch[i] = rnd(i) % {_N_PATCH};
+    }}
+    for (i = 0; i < {_N_PATCH}; i++) {{
+        energy[i] = 0.0;
+        formfactor[i] = 0.5 + tofloat(rnd(i + 700) % 100) * 0.01;
+    }}
+    for (i = 0; i < 64; i++) {{
+        tasks_done[i] = 0;
+        gathered[i] = 0.0;
+        rays_cast[i] = 0;
+    }}
+    for (p = 0; p < nprocs(); p++) {{
+        create(worker, p);
+    }}
+    wait_for_end();
+    print(qhead);
+    return 0;
+}}
+"""
+
+
+def _programmer_plan(pa: ProgramAnalysis) -> TransformPlan:
+    """The programmer grouped the obvious counters but left the lock
+    unpadded and co-allocated with the queue head it protects, and
+    missed the pad&align on the head counter."""
+    plan = TransformPlan(nprocs=pa.nprocs)
+    pdv_point = RSD((Point(Affine.pdv()),))
+    plan.group.append(GroupMember("tasks_done", (), pdv_point))
+    plan.group.append(GroupMember("gathered", (), pdv_point))
+    plan.group.append(GroupMember("rays_cast", (), pdv_point))
+    return plan
+
+
+RADIOSITY = Workload(
+    name="Radiosity",
+    description="Equilibrium distribution of light",
+    paper_lines=10908,
+    versions="NCP",
+    source=SOURCE,
+    fig3_procs=12,
+    programmer_plan=_programmer_plan,
+    expected_transforms=("group_transpose", "locks", "pad_align"),
+    paper_max_speedup={"N": (7.0, 8), "C": (19.2, 28), "P": (7.4, 8)},
+    cpi=6.0,
+    paper_fs_reduction=93.5,
+)

@@ -1,0 +1,54 @@
+"""Registry of the ten benchmark workloads (the paper's Table 1)."""
+
+from __future__ import annotations
+
+from repro.workloads.base import Workload
+from repro.workloads.fmm import FMM
+from repro.workloads.locusroute import LOCUSROUTE
+from repro.workloads.maxflow import MAXFLOW
+from repro.workloads.mp3d import MP3D
+from repro.workloads.pthor import PTHOR
+from repro.workloads.pverify import PVERIFY
+from repro.workloads.radiosity import RADIOSITY
+from repro.workloads.raytrace import RAYTRACE
+from repro.workloads.topopt import TOPOPT
+from repro.workloads.water import WATER
+
+#: Table 1 order.
+ALL_WORKLOADS: tuple[Workload, ...] = (
+    MAXFLOW,
+    PVERIFY,
+    TOPOPT,
+    FMM,
+    RADIOSITY,
+    RAYTRACE,
+    LOCUSROUTE,
+    MP3D,
+    PTHOR,
+    WATER,
+)
+
+#: The six programs with unoptimized versions (Figure 3 / Table 2).
+SIMULATION_WORKLOADS: tuple[Workload, ...] = tuple(
+    w for w in ALL_WORKLOADS if "N" in w.versions
+)
+
+
+def by_name(name: str) -> Workload:
+    for w in ALL_WORKLOADS:
+        if w.name.lower() == name.lower():
+            return w
+    raise KeyError(f"no workload named {name!r}")
+
+
+def table1_rows() -> list[dict]:
+    """The paper's Table 1 as data."""
+    return [
+        {
+            "program": w.name,
+            "description": w.description,
+            "lines_of_c": w.paper_lines,
+            "versions": " ".join(w.versions),
+        }
+        for w in ALL_WORKLOADS
+    ]

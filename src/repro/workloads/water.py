@@ -1,0 +1,128 @@
+"""Water — n-body molecular dynamics [SWG91, original SPLASH].
+
+Paper characteristics: 1451 lines of C; only **C and P** versions are
+reported: compiler 9.9 (40) vs programmer 4.6 (12) — the biggest
+compiler-vs-programmer gap in Table 3.  The programmer tuned locks but
+left the per-molecule force accumulators interleaved in memory; with a
+cyclic molecule partition every force write falsely shares its cache
+block with other processes' molecules, and the programmer version stops
+scaling at 12 processors.
+
+The kernel: cyclic molecule partition, pairwise short-range forces
+(reads of neighbour positions — true communication), per-molecule force
+accumulators written only by the owner (g&t), and per-process energy
+counters.
+"""
+
+from __future__ import annotations
+
+from repro.analysis import ProgramAnalysis
+from repro.transform import LockPad, TransformPlan
+from repro.workloads.base import Workload
+
+_N_MOL = 384
+_CUTOFF = 5
+_STEPS = 3
+
+SOURCE = f"""
+// Water kernel: short-range molecular dynamics, cyclic partition.
+double posx[{_N_MOL}];
+double posy[{_N_MOL}];
+double forx[{_N_MOL}];
+double fory[{_N_MOL}];
+double energy[64];
+int paircount[64];
+lock_t sumlock;
+double total_energy;
+
+void forces(int i, int pid)
+{{
+    int k;
+    int j;
+    double dx;
+    double dy;
+    double f;
+    f = 0.0;
+    for (k = 1; k <= {_CUTOFF}; k++) {{
+        j = i + k;
+        if (j >= {_N_MOL}) {{
+            j = j - {_N_MOL};
+        }}
+        dx = posx[j] - posx[i];
+        dy = posy[j] - posy[i];
+        f = f + 1.0 / (dx * dx + dy * dy + 0.3);
+        paircount[pid] += 1;
+    }}
+    // owner-only accumulation into interleaved vectors: the g&t case
+    forx[i] = forx[i] + f * 0.5;
+    fory[i] = fory[i] + f * 0.3;
+    energy[pid] = energy[pid] + f;
+}}
+
+void worker(int pid)
+{{
+    int i;
+    int step;
+    for (step = 0; step < {_STEPS}; step++) {{
+        for (i = pid; i < {_N_MOL}; i += nprocs()) {{
+            forces(i, pid);
+        }}
+        barrier();
+        for (i = pid; i < {_N_MOL}; i += nprocs()) {{
+            posx[i] = posx[i] + forx[i] * 0.0005;
+            posy[i] = posy[i] + fory[i] * 0.0005;
+        }}
+        barrier();
+    }}
+    lock(&sumlock);
+    total_energy = total_energy + energy[pid];
+    unlock(&sumlock);
+}}
+
+int main()
+{{
+    int i;
+    int p;
+    for (i = 0; i < {_N_MOL}; i++) {{
+        posx[i] = tofloat(rnd(i) % 2000) * 0.01;
+        posy[i] = tofloat(rnd(i + 4000) % 2000) * 0.01;
+        forx[i] = 0.0;
+        fory[i] = 0.0;
+    }}
+    for (i = 0; i < 64; i++) {{
+        energy[i] = 0.0;
+        paircount[i] = 0;
+    }}
+    total_energy = 0.0;
+    for (p = 0; p < nprocs(); p++) {{
+        create(worker, p);
+    }}
+    wait_for_end();
+    print(paircount[0]);
+    return 0;
+}}
+"""
+
+
+def _programmer_plan(pa: ProgramAnalysis) -> TransformPlan:
+    """The programmer padded the reduction lock but missed the
+    group&transpose on the cyclically-interleaved force accumulators —
+    the paper's largest compiler-vs-programmer gap."""
+    plan = TransformPlan(nprocs=pa.nprocs)
+    plan.lock_pads.append(LockPad(base="sumlock"))
+    return plan
+
+
+WATER = Workload(
+    name="Water",
+    description="N-body molecular dynamics",
+    paper_lines=1451,
+    versions="CP",
+    source=SOURCE,
+    fig3_procs=12,
+    programmer_plan=_programmer_plan,
+    expected_transforms=("group_transpose", "locks"),
+    paper_max_speedup={"C": (9.9, 40), "P": (4.6, 12)},
+    cpi=3.5,
+    paper_fs_reduction=None,
+)

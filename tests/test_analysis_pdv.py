@@ -1,0 +1,210 @@
+"""PDV detection and invariant propagation tests."""
+
+from repro.analysis import detect_pdvs
+from repro.ir import build_callgraph
+from repro.lang import compile_source
+from repro.rsd.expr import Affine
+
+
+def analyze(src: str, nprocs: int = 8):
+    checked = compile_source(src)
+    cg = build_callgraph(checked)
+    return detect_pdvs(checked, cg, nprocs)
+
+
+class TestWorkerDetection:
+    def test_basic_spawn_loop(self, counter_checked):
+        from repro.ir import build_callgraph
+
+        cg = build_callgraph(counter_checked)
+        info = detect_pdvs(counter_checked, cg, 8)
+        assert info.workers == {"worker": "pid"}
+        assert info.spawn_uses_nprocs
+        assert info.binding("worker", "pid") == Affine.pdv()
+
+    def test_constant_spawn_arg_is_not_pdv(self):
+        src = """
+        void w(int pid) { }
+        int main()
+        {
+            create(w, 3);
+            wait_for_end();
+            return 0;
+        }
+        """
+        info = analyze(src)
+        assert "w" not in info.workers
+
+    def test_while_spawn_loop(self):
+        src = """
+        void w(int pid) { }
+        int main()
+        {
+            int p;
+            p = 0;
+            while (p < nprocs()) {
+                create(w, p);
+                p += 1;
+            }
+            wait_for_end();
+            return 0;
+        }
+        """
+        info = analyze(src)
+        assert info.workers == {"w": "pid"}
+
+
+class TestInvariantPropagation:
+    def test_derived_pdv(self):
+        src = """
+        int a[64];
+        void w(int pid)
+        {
+            int twice;
+            int shifted;
+            twice = pid * 2;
+            shifted = twice + 1;
+            a[shifted] = 1;
+        }
+        int main()
+        {
+            int p;
+            for (p = 0; p < nprocs(); p++) { create(w, p); }
+            wait_for_end();
+            return 0;
+        }
+        """
+        info = analyze(src)
+        assert info.binding("w", "twice") == Affine.pdv(2)
+        assert info.binding("w", "shifted") == Affine.pdv(2) + 1
+
+    def test_reassigned_variable_not_invariant(self):
+        src = """
+        int a[64];
+        void w(int pid)
+        {
+            int x;
+            x = pid;
+            x = x + 1;
+            a[x] = 1;
+        }
+        int main()
+        {
+            int p;
+            for (p = 0; p < nprocs(); p++) { create(w, p); }
+            wait_for_end();
+            return 0;
+        }
+        """
+        info = analyze(src)
+        assert info.binding("w", "x") is None
+
+    def test_loop_variable_not_invariant(self, counter_checked):
+        from repro.ir import build_callgraph
+
+        cg = build_callgraph(counter_checked)
+        info = detect_pdvs(counter_checked, cg, 8)
+        assert info.binding("worker", "i") is None
+
+    def test_interprocedural_param_binding(self):
+        src = """
+        int a[64];
+        void helper(int idx)
+        {
+            a[idx] = 1;
+        }
+        void w(int pid)
+        {
+            helper(pid * 2);
+        }
+        int main()
+        {
+            int p;
+            for (p = 0; p < nprocs(); p++) { create(w, p); }
+            wait_for_end();
+            return 0;
+        }
+        """
+        info = analyze(src)
+        assert info.binding("helper", "idx") == Affine.pdv(2)
+
+    def test_conflicting_call_sites_no_binding(self):
+        src = """
+        int a[64];
+        void helper(int idx) { a[idx] = 1; }
+        void w(int pid)
+        {
+            helper(pid);
+            helper(pid + 1);
+        }
+        int main()
+        {
+            int p;
+            for (p = 0; p < nprocs(); p++) { create(w, p); }
+            wait_for_end();
+            return 0;
+        }
+        """
+        info = analyze(src)
+        assert info.binding("helper", "idx") is None
+
+
+class TestPrologueFolding:
+    def test_chunk_folds_with_nprocs(self, blocked_checked):
+        from repro.ir import build_callgraph
+
+        cg = build_callgraph(blocked_checked)
+        info = detect_pdvs(blocked_checked, cg, 8)
+        assert info.invariant_globals.get("chunk") == 12  # 96 / 8
+
+    def test_fold_scans_past_init_loops(self):
+        src = """
+        int data[16];
+        int size;
+        void w(int pid) { data[pid] = size; }
+        int main()
+        {
+            int i;
+            for (i = 0; i < 16; i++) { data[i] = 0; }
+            size = 4 * nprocs();
+            for (i = 0; i < nprocs(); i++) { create(w, i); }
+            wait_for_end();
+            return 0;
+        }
+        """
+        info = analyze(src, nprocs=4)
+        assert info.invariant_globals.get("size") == 16
+
+    def test_global_assigned_in_worker_not_invariant(self):
+        src = """
+        int g;
+        int a[64];
+        void w(int pid) { g = pid; a[pid] = g; }
+        int main()
+        {
+            int p;
+            g = 7;
+            for (p = 0; p < nprocs(); p++) { create(w, p); }
+            wait_for_end();
+            return 0;
+        }
+        """
+        info = analyze(src)
+        assert "g" not in info.invariant_globals
+
+    def test_global_assigned_in_init_loop_not_invariant(self):
+        src = """
+        int g;
+        int a[64];
+        void w(int pid) { a[pid] = g; }
+        int main()
+        {
+            int i;
+            for (i = 0; i < 4; i++) { g = i; }
+            for (i = 0; i < nprocs(); i++) { create(w, i); }
+            wait_for_end();
+            return 0;
+        }
+        """
+        info = analyze(src)
+        assert "g" not in info.invariant_globals

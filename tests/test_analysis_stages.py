@@ -1,0 +1,246 @@
+"""Tests for the three analysis stages: per-process control flow,
+non-concurrency (barrier phases), and static profiling."""
+
+import pytest
+
+from repro.analysis import (
+    MAIN_PROC,
+    analyze_phases,
+    compute_proc_sets,
+    compute_profile,
+    detect_pdvs,
+    eval_cond_for_pid,
+)
+from repro.errors import AnalysisError
+from repro.ir import build_callgraph
+from repro.lang import astnodes as A
+from repro.lang import compile_source
+from repro.rsd.expr import Affine
+
+
+def setup(src: str, nprocs: int = 8):
+    checked = compile_source(src)
+    cg = build_callgraph(checked)
+    pdv = detect_pdvs(checked, cg, nprocs)
+    return checked, cg, pdv
+
+
+WORKER_TMPL = """
+int a[64];
+int master_only;
+void w(int pid)
+{{
+{body}
+}}
+int main()
+{{
+    int p;
+    for (p = 0; p < nprocs(); p++) {{ create(w, p); }}
+    wait_for_end();
+    return 0;
+}}
+"""
+
+
+class TestPerProcess:
+    def test_eval_cond(self):
+        checked, cg, pdv = setup(WORKER_TMPL.format(body="    a[pid] = 1;"))
+        bindings = {"pid": Affine.pdv()}
+        from repro.lang.parser import parse_expression
+
+        cond = parse_expression("pid == 0")
+        assert eval_cond_for_pid(cond, 0, bindings, {}, 8) is True
+        assert eval_cond_for_pid(cond, 3, bindings, {}, 8) is False
+        cond2 = parse_expression("pid < 4 && pid != 2")
+        assert eval_cond_for_pid(cond2, 1, bindings, {}, 8) is True
+        assert eval_cond_for_pid(cond2, 2, bindings, {}, 8) is False
+        assert eval_cond_for_pid(cond2, 6, bindings, {}, 8) is False
+
+    def test_branch_annotation(self):
+        src = WORKER_TMPL.format(
+            body="    if (pid == 0) { master_only = 1; } else { a[pid] = 2; }"
+        )
+        checked, cg, pdv = setup(src)
+        sets = compute_proc_sets(checked, cg, pdv, 8)
+        w = checked.program.func("w")
+        branch = w.body.body[0]
+        assert isinstance(branch, A.If)
+        then_set = sets.sets["w"][id(branch.then)]
+        else_set = sets.sets["w"][id(branch.orelse)]
+        assert then_set == frozenset({0})
+        assert else_set == frozenset(range(1, 8))
+
+    def test_undecidable_condition_keeps_all(self):
+        src = WORKER_TMPL.format(
+            body="    if (a[0] > 3) { a[pid] = 1; }"
+        )
+        checked, cg, pdv = setup(src)
+        sets = compute_proc_sets(checked, cg, pdv, 8)
+        w = checked.program.func("w")
+        branch = w.body.body[0]
+        assert sets.sets["w"][id(branch.then)] == frozenset(range(8))
+
+    def test_main_is_pseudo_process(self, counter_checked):
+        cg = build_callgraph(counter_checked)
+        pdv = detect_pdvs(counter_checked, cg, 4)
+        sets = compute_proc_sets(counter_checked, cg, pdv, 4)
+        assert sets.entry["main"] == frozenset({MAIN_PROC})
+        assert sets.entry["worker"] == frozenset(range(4))
+
+    def test_helper_inherits_caller_sets(self):
+        src = """
+        int a[64];
+        void helper(int x) { a[x] = 1; }
+        void w(int pid)
+        {
+            if (pid == 0) { helper(pid); }
+        }
+        int main()
+        {
+            int p;
+            for (p = 0; p < nprocs(); p++) { create(w, p); }
+            wait_for_end();
+            return 0;
+        }
+        """
+        checked, cg, pdv = setup(src)
+        sets = compute_proc_sets(checked, cg, pdv, 8)
+        assert sets.entry["helper"] == frozenset({0})
+
+
+class TestNonConcurrency:
+    def test_phase_count(self, counter_checked):
+        cg = build_callgraph(counter_checked)
+        phases = analyze_phases(counter_checked, cg)
+        assert phases.worker_phases["worker"] == 2
+
+    def test_phases_advance_in_order(self):
+        src = WORKER_TMPL.format(
+            body="    a[pid] = 1;\n    barrier();\n    a[pid] = 2;\n"
+            "    barrier();\n    a[pid] = 3;"
+        )
+        checked, cg, _ = setup(src)
+        phases = analyze_phases(checked, cg)
+        w = checked.program.func("w")
+        stmts = w.body.body
+        offs = [phases.phase_of("w", s) for s in stmts if not isinstance(s, A.ExprStmt)]
+        assert offs == [0, 1, 2]
+        assert phases.worker_phases["w"] == 3
+
+    def test_barrier_in_callee_counts(self):
+        src = """
+        int a[64];
+        void sync_step(int x) { a[x] = x; barrier(); }
+        void w(int pid)
+        {
+            a[pid] = 0;
+            sync_step(pid);
+            a[pid] = 1;
+        }
+        int main()
+        {
+            int p;
+            for (p = 0; p < nprocs(); p++) { create(w, p); }
+            wait_for_end();
+            return 0;
+        }
+        """
+        checked, cg, _ = setup(src)
+        phases = analyze_phases(checked, cg)
+        assert phases.barrier_counts["sync_step"] == 1
+        w = checked.program.func("w")
+        last = w.body.body[-1]
+        assert phases.phase_of("w", last) == 1
+
+    def test_barrier_loop_records_cycle(self):
+        src = WORKER_TMPL.format(
+            body="    int r;\n    for (r = 0; r < 3; r++) {\n"
+            "        a[pid] = r;\n        barrier();\n    }"
+        )
+        checked, cg, _ = setup(src)
+        phases = analyze_phases(checked, cg)
+        assert phases.cyclic_groups
+
+    def test_divergent_barrier_rejected(self):
+        src = WORKER_TMPL.format(
+            body="    if (pid == 0) { barrier(); }"
+        )
+        checked, cg, _ = setup(src)
+        with pytest.raises(AnalysisError, match="barrier"):
+            analyze_phases(checked, cg)
+
+    def test_balanced_conditional_barriers_allowed(self):
+        src = WORKER_TMPL.format(
+            body="    if (pid == 0) { barrier(); } else { barrier(); }"
+        )
+        checked, cg, _ = setup(src)
+        phases = analyze_phases(checked, cg)
+        assert phases.worker_phases["w"] == 2
+
+
+class TestProfiling:
+    def test_exact_loop_trip_counts(self, counter_checked):
+        cg = build_callgraph(counter_checked)
+        pdv = detect_pdvs(counter_checked, cg, 8)
+        prof = compute_profile(counter_checked, cg, pdv, 8)
+        w = counter_checked.program.func("worker")
+        loop = w.body.body[1]  # the for loop (after the VarDecl)
+        assert isinstance(loop, A.For)
+        body_first = loop.body.body[0]
+        assert prof.local_weight("worker", body_first) == 40.0
+
+    def test_branch_probability(self):
+        src = WORKER_TMPL.format(
+            body="    if (a[0] > 1) { a[pid] = 1; }"
+        )
+        checked, cg, pdv = setup(src)
+        prof = compute_profile(checked, cg, pdv, 8)
+        w = checked.program.func("w")
+        branch = w.body.body[0]
+        assert prof.local_weight("w", branch.then) == 0.5
+
+    def test_pdv_branch_not_discounted(self):
+        src = WORKER_TMPL.format(
+            body="    if (pid == 0) { a[pid] = 1; }"
+        )
+        checked, cg, pdv = setup(src)
+        prof = compute_profile(checked, cg, pdv, 8)
+        w = checked.program.func("w")
+        branch = w.body.body[0]
+        assert prof.local_weight("w", branch.then) == 1.0
+
+    def test_interprocedural_entry_counts(self):
+        src = """
+        int a[4];
+        void leaf(int x) { a[x % 4] = x; }
+        void w(int pid)
+        {
+            int i;
+            for (i = 0; i < 10; i++) { leaf(i); }
+        }
+        int main()
+        {
+            int p;
+            for (p = 0; p < nprocs(); p++) { create(w, p); }
+            wait_for_end();
+            return 0;
+        }
+        """
+        checked, cg, pdv = setup(src)
+        prof = compute_profile(checked, cg, pdv, 8)
+        assert prof.entry["leaf"] == 10.0  # per worker entry
+        assert prof.entry["w"] == 1.0
+
+    def test_while_uses_default_trips(self):
+        from repro.analysis import DEFAULT_TRIPS
+
+        src = WORKER_TMPL.format(
+            body="    int i;\n    i = 0;\n    while (a[i] < 5) {\n"
+            "        a[pid] = i;\n        i = i + 1;\n    }"
+        )
+        checked, cg, pdv = setup(src)
+        prof = compute_profile(checked, cg, pdv, 8)
+        w = checked.program.func("w")
+        loop = [s for s in w.body.body if isinstance(s, A.While)][0]
+        inner = loop.body.body[0]
+        assert prof.local_weight("w", inner) == DEFAULT_TRIPS

@@ -1,0 +1,74 @@
+"""Single-cache model tests (LRU, eviction, configuration)."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import SimulationError
+from repro.sim import Cache, CacheConfig, INVALID, MODIFIED, SHARED
+
+
+class TestConfig:
+    def test_n_sets(self):
+        cfg = CacheConfig(size=32 * 1024, block_size=128, assoc=4)
+        assert cfg.n_sets == 64
+
+    def test_non_power_of_two_block_rejected(self):
+        with pytest.raises(SimulationError):
+            CacheConfig(block_size=100)
+
+    def test_indivisible_size_rejected(self):
+        with pytest.raises(SimulationError):
+            CacheConfig(size=1000, block_size=128, assoc=4)
+
+
+class TestLRU:
+    def _small(self):
+        # 2 sets, 2-way: block numbers with the same parity conflict
+        return Cache(CacheConfig(size=4 * 64, block_size=64, assoc=2))
+
+    def test_insert_and_state(self):
+        c = self._small()
+        c.insert(0, SHARED)
+        assert c.state(0) == SHARED
+        assert c.state(2) == INVALID
+
+    def test_eviction_is_lru(self):
+        c = self._small()
+        assert c.insert(0, SHARED) is None
+        assert c.insert(2, SHARED) is None  # same set (even)
+        c.touch(0)  # 0 becomes MRU, 2 is now LRU
+        victim = c.insert(4, SHARED)
+        assert victim == (2, SHARED)
+
+    def test_dirty_victim_reported(self):
+        c = self._small()
+        c.insert(0, MODIFIED)
+        c.insert(2, SHARED)
+        victim = c.insert(4, SHARED)
+        assert victim == (0, MODIFIED)
+
+    def test_invalidate_removes(self):
+        c = self._small()
+        c.insert(0, MODIFIED)
+        assert c.invalidate(0) == MODIFIED
+        assert c.state(0) == INVALID
+        assert c.invalidate(0) == INVALID
+
+    def test_reinsert_no_eviction(self):
+        c = self._small()
+        c.insert(0, SHARED)
+        c.insert(2, SHARED)
+        assert c.insert(0, MODIFIED) is None  # already resident
+        assert c.state(0) == MODIFIED
+
+    @given(st.lists(st.integers(0, 31), min_size=1, max_size=200))
+    def test_capacity_invariant(self, blocks):
+        c = Cache(CacheConfig(size=8 * 64, block_size=64, assoc=2))
+        for b in blocks:
+            c.insert(b, SHARED)
+            for s in c.sets:
+                assert len(s) <= 2
+        # every resident block maps to its own set
+        for i, s in enumerate(c.sets):
+            for b in s:
+                assert b % c.n_sets == i

@@ -1,0 +1,155 @@
+"""Unit tests for the semantic checker and model restrictions."""
+
+import pytest
+
+from repro.errors import CheckError
+from repro.lang import compile_source
+from repro.lang import ctypes as T
+
+MAIN = "int main() { return 0; }"
+
+
+def check_ok(src: str):
+    return compile_source(src + "\n" + MAIN)
+
+
+def check_bad(src: str, fragment: str = ""):
+    with pytest.raises(CheckError) as exc:
+        compile_source(src + "\n" + MAIN)
+    if fragment:
+        assert fragment in str(exc.value)
+
+
+class TestTyping:
+    def test_int_double_promotion(self):
+        check_ok("double f() { double d; d = 1 + 0.5; return d; }")
+
+    def test_double_to_int_narrowing_rejected(self):
+        check_bad("void f() { int x; x = 1.5; }", "narrowing")
+
+    def test_toint_allows_conversion(self):
+        check_ok("void f() { int x; x = toint(1.5); }")
+
+    def test_modulo_requires_ints(self):
+        check_bad("void f() { double d; d = 1.5 % 2.0; }")
+
+    def test_condition_must_be_int(self):
+        check_bad("void f() { if (1.5) { } }")
+
+    def test_undeclared_identifier(self):
+        check_bad("void f() { x = 1; }", "undeclared")
+
+    def test_member_on_non_struct(self):
+        check_bad("void f() { int x; x.y = 1; }")
+
+    def test_unknown_field(self):
+        check_bad(
+            "struct s { int a; }; struct s g;\nvoid f() { g.b = 1; }",
+            "no field",
+        )
+
+    def test_index_requires_int(self):
+        check_bad("int a[4];\nvoid f() { a[1.5] = 1; }")
+
+    def test_return_type_checked(self):
+        check_bad("int f() { return; }")
+        check_bad("void f() { return 1; }")
+
+    def test_aggregate_assignment_rejected(self):
+        check_bad(
+            "struct s { int a; }; struct s x; struct s y;\n"
+            "void f() { x = y; }",
+            "aggregate",
+        )
+
+    def test_array_param_rejected(self):
+        check_bad("void f(int a[4]) { }")
+
+
+class TestModelRestrictions:
+    def test_pointer_arithmetic_rejected(self):
+        check_bad(
+            "int *p;\nvoid f() { int x; x = 0; p = p + 1; }",
+            "pointer arithmetic",
+        )
+
+    def test_null_assignment_allowed(self):
+        check_ok("int *p;\nvoid f() { p = 0; }")
+
+    def test_nonzero_int_to_pointer_rejected(self):
+        check_bad("int *p;\nvoid f() { p = 4; }")
+
+    def test_pointer_comparison_only_eq(self):
+        check_bad("int *p; int *q;\nvoid f() { int x; x = p < q; }")
+
+    def test_pointer_null_compare_ok(self):
+        check_ok("int *p;\nvoid f() { if (p != 0) { } }")
+
+    def test_local_lock_rejected(self):
+        check_bad("void f() { lock_t l; }", "file scope")
+
+    def test_create_only_in_main(self):
+        check_bad(
+            "void w(int pid) { }\nvoid f() { create(w, 0); }",
+            "main",
+        )
+
+    def test_create_worker_signature(self):
+        with pytest.raises(CheckError):
+            compile_source(
+                "void w(double x) { }\n"
+                "int main() { create(w, 0); return 0; }"
+            )
+
+    def test_global_initializer_rejected(self):
+        with pytest.raises(CheckError):
+            compile_source("int x = 3;\n" + MAIN)
+
+    def test_break_outside_loop(self):
+        check_bad("void f() { break; }")
+
+    def test_builtin_shadowing_rejected(self):
+        check_bad("int barrier() { return 0; }", "builtin")
+
+    def test_duplicate_function(self):
+        check_bad("void f() { }\nvoid f() { }", "duplicate")
+
+    def test_missing_main(self):
+        with pytest.raises(CheckError):
+            compile_source("void f() { }")
+
+
+class TestSpawnDetection:
+    def test_spawn_sites_recorded(self):
+        src = """
+        void w(int pid) { }
+        int main()
+        {
+            int p;
+            for (p = 0; p < nprocs(); p++) {
+                create(w, p);
+            }
+            wait_for_end();
+            return 0;
+        }
+        """
+        checked = compile_source(src)
+        assert checked.worker_names == ["w"]
+        site = checked.spawn_sites[0]
+        assert site.func_name == "w" and site.loop is not None
+
+    def test_expression_types_annotated(self, counter_checked):
+        from repro.lang import astnodes as A
+
+        fn = counter_checked.program.func("worker")
+        # every expression in the worker has a type after checking
+        for stmt in A.walk_stmts(fn.body):
+            for e in A.stmt_exprs(stmt):
+                if isinstance(e, A.Ident) and e.name == "worker":
+                    continue
+                assert e.ty is not None, f"untyped expr {e}"
+
+    def test_symbol_kinds(self, counter_checked):
+        tab = counter_checked.symtab
+        assert tab.globals["counter"].is_shared
+        assert isinstance(tab.globals["biglock"].type, T.LockType)

@@ -1,0 +1,70 @@
+"""CLI tests (python -m repro)."""
+
+import pytest
+
+from repro.cli import main
+
+from conftest import COUNTER_SRC
+
+
+@pytest.fixture()
+def src_file(tmp_path):
+    f = tmp_path / "prog.pc"
+    f.write_text(COUNTER_SRC)
+    return str(f)
+
+
+class TestCLI:
+    def test_analyze(self, src_file, capsys):
+        assert main(["analyze", src_file, "-p", "4"]) == 0
+        out = capsys.readouterr().out
+        assert "workers: {'worker': 'pid'}" in out
+        assert "TransformPlan" in out
+
+    def test_analyze_verbose_decisions(self, src_file, capsys):
+        main(["analyze", src_file, "-p", "4", "-v"])
+        out = capsys.readouterr().out
+        assert "locks are always padded" in out
+
+    def test_transform(self, src_file, capsys):
+        assert main(["transform", src_file, "-p", "4"]) == 0
+        out = capsys.readouterr().out
+        assert out.startswith("// Transformed")
+        # and the output is a valid program
+        from repro.lang import compile_source
+
+        compile_source(out)
+
+    def test_run(self, src_file, capsys):
+        assert main(["run", src_file, "-p", "4"]) == 0
+        out = capsys.readouterr().out
+        assert out.strip().splitlines()[0] == "160"
+
+    def test_run_optimized_same_output(self, src_file, capsys):
+        main(["run", src_file, "-p", "4"])
+        base = capsys.readouterr().out
+        main(["run", src_file, "-p", "4", "-O"])
+        opt = capsys.readouterr().out
+        assert base == opt
+
+    def test_simulate(self, src_file, capsys):
+        assert main(["simulate", src_file, "-p", "8", "-v"]) == 0
+        out = capsys.readouterr().out
+        assert "unoptimized" in out and "transformed" in out
+        assert "false sharing" in out
+
+    def test_workloads(self, capsys):
+        assert main(["workloads"]) == 0
+        out = capsys.readouterr().out
+        assert "Maxflow" in out and "Water" in out
+
+    def test_experiments_table1(self, capsys):
+        assert main(["experiments", "table1"]) == 0
+        assert "810" in capsys.readouterr().out
+
+    def test_bad_experiment_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["experiments", "nope"])
+
+    def test_block_size_option(self, src_file, capsys):
+        assert main(["simulate", src_file, "-p", "4", "-b", "32"]) == 0

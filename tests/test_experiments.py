@@ -1,0 +1,123 @@
+"""Experiment-driver tests on a reduced configuration (two workloads,
+small processor counts) — the full-size runs live in benchmarks/."""
+
+import pytest
+
+from repro.harness import (
+    WorkloadLab,
+    figure3,
+    headline,
+    render_figure3,
+    render_headline,
+    render_scalability,
+    render_table1,
+    render_table2,
+    render_table3,
+    scalability,
+    table1,
+    table2,
+    table3,
+)
+from repro.workloads import by_name
+
+SMALL = (by_name("Radiosity"), by_name("Raytrace"))
+
+
+@pytest.fixture(scope="module")
+def lab():
+    return WorkloadLab()
+
+
+class TestTable1:
+    def test_rows(self):
+        rows = table1()
+        assert len(rows) == 10
+        assert rows[0]["program"] == "Maxflow"
+        text = render_table1(rows)
+        assert "Maxflow" in text and "810" in text
+
+
+class TestFigure3:
+    def test_shapes(self, lab):
+        res = figure3(SMALL, block_sizes=(16, 128), lab=lab)
+        assert {r.program for r in res.rows} == {"Radiosity", "Raytrace"}
+        for row in res.rows:
+            for cell in row.cells.values():
+                assert 0.0 <= cell.fs_rate <= cell.miss_rate <= 1.0
+            # compiler reduces the FS portion at 128B
+            assert (
+                row.cells[(128, "C")].fs_rate
+                < row.cells[(128, "N")].fs_rate
+            )
+        text = render_figure3(res)
+        assert "Radiosity" in text
+
+    def test_fs_portion_grows_with_block_size(self, lab):
+        res = figure3(SMALL, block_sizes=(16, 128), lab=lab)
+        for row in res.rows:
+            assert (
+                row.cells[(128, "N")].fs_rate
+                >= row.cells[(16, "N")].fs_rate * 0.8
+            )
+
+
+class TestTable2:
+    def test_attribution_sums_to_total(self, lab):
+        res = table2(SMALL, block_sizes=(32, 128), lab=lab)
+        for row in res.rows:
+            assert 0.0 <= row.total_reduction <= 100.0
+            contrib = sum(row.by_transform.values())
+            assert contrib == pytest.approx(row.total_reduction, abs=0.5)
+        text = render_table2(res)
+        assert "Radiosity" in text
+
+    def test_dominant_transform_matches_paper(self, lab):
+        res = table2(SMALL, block_sizes=(32, 128), lab=lab)
+        row = res.row("Radiosity")
+        dominant = max(row.by_transform, key=row.by_transform.get)
+        assert dominant == "group_transpose"
+
+
+class TestScalability:
+    def test_curves_and_table3(self, lab):
+        procs = (1, 2, 4)
+        sc = scalability(by_name("Radiosity"), procs, lab)
+        assert set(sc.curves) == {"N", "C", "P"}
+        for curve in sc.curves.values():
+            assert curve.points[1] == pytest.approx(
+                sc.curves["N"].points[1], rel=0.5
+            )
+        text = render_scalability(sc)
+        assert "Radiosity" in text
+
+        rows = table3(SMALL, procs, lab)
+        assert len(rows) == 2
+        for row in rows:
+            for v, (s, at) in row.results.items():
+                assert s > 0 and at in procs
+        assert "paper" in render_table3(rows)
+
+    def test_cp_only_workload_has_no_n_curve(self, lab):
+        sc = scalability(by_name("Water"), (1, 2), lab)
+        assert "N" not in sc.curves
+        assert set(sc.curves) == {"C", "P"}
+
+
+class TestHeadline:
+    def test_stats_sane(self, lab):
+        stats = headline(SMALL, lab=lab)
+        assert 0.0 < stats.fs_fraction_of_misses < 1.0
+        assert 0.0 < stats.fs_eliminated <= 1.0
+        assert stats.total_miss_reduction_128 > 0.0
+        assert "paper" in render_headline(stats)
+
+
+class TestImprovements:
+    def test_c_improves_over_n_in_scaling_range(self, lab):
+        from repro.harness import improvements
+
+        rows = improvements(SMALL, proc_counts=(1, 2, 4, 8), lab=lab)
+        assert {r.program for r in rows} == {"Radiosity", "Raytrace"}
+        for r in rows:
+            assert r.by_procs, r.program
+            assert r.max_improvement > 0.0, r.program

@@ -1,0 +1,102 @@
+"""CFG and call-graph tests."""
+
+import pytest
+
+from repro.errors import AnalysisError
+from repro.ir import NodeKind, build_callgraph, build_cfg
+from repro.lang import compile_source
+
+
+def cfg_of(body: str, decls: str = ""):
+    src = decls + "\nvoid f()\n{\n" + body + "\n}\nint main() { return 0; }"
+    checked = compile_source(src)
+    return build_cfg(checked.program.func("f"), frozenset(checked.symtab.funcs))
+
+
+class TestCFG:
+    def test_straight_line(self):
+        cfg = cfg_of("int x; x = 1; x = 2;")
+        assert cfg.exit.id in cfg.reachable()
+        stmts = [n for n in cfg.nodes if n.kind is NodeKind.STMT and n.stmt]
+        assert len(stmts) >= 3
+
+    def test_if_creates_branch_and_join(self):
+        cfg = cfg_of("int x; x = 0; if (x) { x = 1; } else { x = 2; }")
+        branches = cfg.nodes_of_kind(NodeKind.BRANCH)
+        assert len(branches) == 1
+        assert len(branches[0].succs) == 2
+
+    def test_loop_back_edge(self):
+        cfg = cfg_of("int i; for (i = 0; i < 3; i++) { i = i; }")
+        loops = cfg.nodes_of_kind(NodeKind.LOOP)
+        assert len(loops) == 1
+        # the loop header is reachable from inside the body
+        body_reach = cfg.reachable(loops[0])
+        assert loops[0].id in body_reach
+
+    def test_while_break_reaches_exit(self):
+        cfg = cfg_of("while (1) { break; }")
+        assert cfg.exit.id in cfg.reachable()
+
+    def test_return_connects_to_exit(self):
+        cfg = cfg_of("return;")
+        rets = cfg.nodes_of_kind(NodeKind.RETURN)
+        assert rets and cfg.exit in rets[0].succs
+
+    def test_sync_node_kinds(self):
+        cfg = cfg_of(
+            "lock(&l); barrier(); unlock(&l);", decls="lock_t l;"
+        )
+        assert len(cfg.nodes_of_kind(NodeKind.LOCK)) == 1
+        assert len(cfg.nodes_of_kind(NodeKind.BARRIER)) == 1
+        assert len(cfg.nodes_of_kind(NodeKind.UNLOCK)) == 1
+
+    def test_loop_depth_annotation(self):
+        cfg = cfg_of("int i; int j; for (i = 0; i < 2; i++) { j = i; }")
+        inner = [
+            n for n in cfg.nodes
+            if n.stmt is not None and n.kind is NodeKind.STMT and n.loop_depth > 0
+        ]
+        assert inner
+
+
+class TestCallGraph:
+    def test_edges_and_spawn(self, counter_checked):
+        cg = build_callgraph(counter_checked)
+        assert "worker" in cg.spawned
+        assert "worker" in cg.edges["main"]
+
+    def test_bottom_up_order(self):
+        src = """
+        int h() { return 1; }
+        int g() { return h(); }
+        int f() { return g() + h(); }
+        int main() { return f(); }
+        """
+        cg = build_callgraph(compile_source(src))
+        order = cg.bottom_up_order()
+        assert order.index("h") < order.index("g") < order.index("f")
+        assert order.index("f") < order.index("main")
+
+    def test_recursion_rejected(self):
+        src = "int f() { return f(); }\nint main() { return 0; }"
+        cg = build_callgraph(compile_source(src))
+        with pytest.raises(AnalysisError, match="recursive"):
+            cg.bottom_up_order()
+
+    def test_mutual_recursion_rejected(self):
+        src = """
+        int g();
+        """
+        # forward declarations are not supported; use indirect recursion
+        src = (
+            "int f(int x) { if (x) { return f(x - 1); } return 0; }\n"
+            "int main() { return 0; }"
+        )
+        cg = build_callgraph(compile_source(src))
+        with pytest.raises(AnalysisError):
+            cg.bottom_up_order()
+
+    def test_reachable_from(self, counter_checked):
+        cg = build_callgraph(counter_checked)
+        assert cg.reachable_from(["main"]) >= {"main", "worker"}

@@ -1,0 +1,212 @@
+"""Layout engine tests: natural C layout, transformed layouts, and the
+no-overlap invariant."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.analysis import analyze_program
+from repro.lang import compile_source
+from repro.layout import DataLayout, GLOBALS_BASE, GROUP_BASE
+from repro.layout.regions import build_region_map
+from repro.rsd import Affine, Point, RSD, Range
+from repro.transform import (
+    GroupMember,
+    LockPad,
+    PadAlign,
+    TransformPlan,
+    decide_transformations,
+)
+
+from conftest import COUNTER_SRC
+
+
+def natural(src: str, nprocs: int = 4, block: int = 128) -> DataLayout:
+    checked = compile_source(src + "\nint main() { return 0; }")
+    return DataLayout(checked, nprocs=nprocs, block_size=block)
+
+
+class TestNaturalLayout:
+    def test_declaration_order_contiguous(self):
+        lay = natural("int a; int b; double c;")
+        assert lay.globals["a"].base == GLOBALS_BASE
+        assert lay.globals["b"].base == GLOBALS_BASE + 4
+        assert lay.globals["c"].base == GLOBALS_BASE + 8  # aligned to 8
+
+    def test_array_addressing_row_major(self):
+        lay = natural("int g[4][8];")
+        a00, _ = lay.materialize("g", [("idx", 0), ("idx", 0)])
+        a01, _ = lay.materialize("g", [("idx", 0), ("idx", 1)])
+        a10, _ = lay.materialize("g", [("idx", 1), ("idx", 0)])
+        assert a01 - a00 == 4
+        assert a10 - a00 == 32
+
+    def test_struct_field_offsets(self):
+        lay = natural("struct s { int a; double b; }; struct s x[2];")
+        addr_a, ty_a = lay.materialize("x", [("idx", 1), ("field", "a")])
+        addr_b, ty_b = lay.materialize("x", [("idx", 1), ("field", "b")])
+        assert addr_b - addr_a == 8
+        assert str(ty_a) == "int" and str(ty_b) == "double"
+
+    def test_adjacent_scalars_share_block(self):
+        lay = natural("int a; int b;", block=128)
+        a, _ = lay.materialize("a", [])
+        b, _ = lay.materialize("b", [])
+        assert a // 128 == b // 128  # the source of scalar false sharing
+
+
+class TestPadding:
+    def test_scalar_pad_isolates_block(self):
+        plan = TransformPlan(nprocs=4)
+        plan.pads.append(PadAlign(base="a"))
+        checked = compile_source("int a; int b;\nint main() { return 0; }")
+        lay = DataLayout(checked, plan, nprocs=4, block_size=128)
+        a, _ = lay.materialize("a", [])
+        b, _ = lay.materialize("b", [])
+        assert a % 128 == 0
+        assert a // 128 != b // 128
+
+    def test_per_element_pad(self):
+        plan = TransformPlan(nprocs=4)
+        plan.pads.append(PadAlign(base="g", per_element=True))
+        checked = compile_source("int g[8];\nint main() { return 0; }")
+        lay = DataLayout(checked, plan, nprocs=4, block_size=64)
+        addrs = [lay.materialize("g", [("idx", i)])[0] for i in range(8)]
+        blocks = {a // 64 for a in addrs}
+        assert len(blocks) == 8
+
+    def test_lock_array_padded(self):
+        plan = TransformPlan(nprocs=4)
+        plan.lock_pads.append(LockPad(base="ls"))
+        checked = compile_source("lock_t ls[4];\nint main() { return 0; }")
+        lay = DataLayout(checked, plan, nprocs=4, block_size=128)
+        addrs = [lay.materialize("ls", [("idx", i)])[0] for i in range(4)]
+        assert len({a // 128 for a in addrs}) == 4
+
+    def test_struct_lock_field_own_block(self):
+        plan = TransformPlan(nprocs=4)
+        plan.lock_pads.append(LockPad(struct_field=("c", "lk")))
+        checked = compile_source(
+            "struct c { lock_t lk; int v; }; struct c cells[4];\n"
+            "int main() { return 0; }"
+        )
+        lay = DataLayout(checked, plan, nprocs=4, block_size=128)
+        lk0, _ = lay.materialize("cells", [("idx", 0), ("field", "lk")])
+        v0, _ = lay.materialize("cells", [("idx", 0), ("field", "v")])
+        assert lk0 // 128 != v0 // 128
+
+
+class TestGroupRegion:
+    def _grouped_layout(self, nprocs=4, block=128):
+        plan = TransformPlan(nprocs=nprocs)
+        pdv = RSD((Point(Affine.pdv()),))
+        plan.group.append(GroupMember("a", (), pdv))
+        plan.group.append(GroupMember("b", (), pdv))
+        checked = compile_source(
+            "int a[8]; double b[8];\nint main() { return 0; }"
+        )
+        return DataLayout(checked, plan, nprocs=nprocs, block_size=block)
+
+    def test_same_owner_data_shares_block(self):
+        lay = self._grouped_layout()
+        a0, _ = lay.materialize("a", [("idx", 0)])
+        b0, _ = lay.materialize("b", [("idx", 0)])
+        assert a0 // 128 == b0 // 128
+        assert a0 >= GROUP_BASE
+
+    def test_distinct_owners_distinct_blocks(self):
+        lay = self._grouped_layout()
+        a0, _ = lay.materialize("a", [("idx", 0)])
+        a1, _ = lay.materialize("a", [("idx", 1)])
+        assert a0 // 128 != a1 // 128
+
+    def test_unowned_elements_in_leftover(self):
+        lay = self._grouped_layout(nprocs=4)
+        # indices >= nprocs have no owner but still get storage
+        a7, _ = lay.materialize("a", [("idx", 7)])
+        assert a7 >= GROUP_BASE
+
+    def test_cyclic_partition_transposes(self):
+        plan = TransformPlan(nprocs=4)
+        part = RSD((Range(Affine.pdv(), Affine.constant(15), 4),))
+        plan.group.append(GroupMember("v", (), part))
+        checked = compile_source("int v[16];\nint main() { return 0; }")
+        lay = DataLayout(checked, plan, nprocs=4, block_size=128)
+        # v[0], v[4], v[8] all belong to proc 0 -> contiguous
+        a0, _ = lay.materialize("v", [("idx", 0)])
+        a4, _ = lay.materialize("v", [("idx", 4)])
+        a8, _ = lay.materialize("v", [("idx", 8)])
+        assert a4 - a0 == 4 and a8 - a4 == 4
+        # v[1] belongs to proc 1 -> different (padded) region
+        a1, _ = lay.materialize("v", [("idx", 1)])
+        assert a1 // 128 != a0 // 128
+
+
+class TestInvariants:
+    def _all_cells(self, lay: DataLayout, checked) -> list[tuple[int, int, str]]:
+        """(addr, size, what) of every scalar cell in every global."""
+        from repro.lang import ctypes as T
+
+        cells = []
+
+        def walk(base: str, steps, ty):
+            if isinstance(ty, T.ArrayType):
+                for i in range(ty.dims[0]):
+                    inner = (
+                        T.ArrayType(ty.elem, ty.dims[1:])
+                        if len(ty.dims) > 1
+                        else ty.elem
+                    )
+                    walk(base, steps + [("idx", i)], inner)
+            elif isinstance(ty, T.StructType):
+                for f in ty.fields:
+                    walk(base, steps + [("field", f.name)], f.type)
+            else:
+                addr, rty = lay.materialize(base, steps)
+                cells.append((addr, rty.size, f"{base}{steps}"))
+
+        for g in checked.program.globals:
+            walk(g.name, [], g.type)
+        return cells
+
+    def test_no_overlap_counter_program(self, counter_checked):
+        for plan in (None, _full_plan(counter_checked)):
+            lay = DataLayout(counter_checked, plan, nprocs=4, block_size=128)
+            cells = self._all_cells(lay, counter_checked)
+            cells.sort()
+            for (a1, s1, w1), (a2, _s2, w2) in zip(cells, cells[1:]):
+                assert a1 + s1 <= a2, f"{w1} overlaps {w2}"
+
+    @settings(max_examples=20, deadline=None)
+    @given(block=st.sampled_from([16, 32, 64, 128, 256]), nprocs=st.integers(2, 9))
+    def test_no_overlap_property(self, block, nprocs):
+        checked = compile_source(COUNTER_SRC)
+        pa = analyze_program(checked, nprocs)
+        plan = decide_transformations(pa, block_size=block)
+        lay = DataLayout(checked, plan, nprocs=nprocs, block_size=block)
+        cells = self._all_cells(lay, checked)
+        cells.sort()
+        for (a1, s1, w1), (a2, _s2, w2) in zip(cells, cells[1:]):
+            assert a1 + s1 <= a2, f"{w1} overlaps {w2}"
+
+
+def _full_plan(checked):
+    pa = analyze_program(checked, 4)
+    return decide_transformations(pa)
+
+
+class TestRegionMap:
+    def test_attribution_names(self, counter_checked):
+        lay = DataLayout(counter_checked, nprocs=4)
+        rm = build_region_map(lay)
+        addr, _ = lay.materialize("counter", [("idx", 2)])
+        assert rm.name_of(addr) == "counter"
+        from repro.layout import BARRIER_ADDR, HEAP_BASE
+
+        assert rm.name_of(BARRIER_ADDR) == "(sync)"
+        assert rm.name_of(HEAP_BASE + 64) == "(heap)"
+
+    def test_group_members_attributed(self, counter_checked):
+        plan = _full_plan(counter_checked)
+        lay = DataLayout(counter_checked, plan, nprocs=4)
+        rm = build_region_map(lay)
+        addr, _ = lay.materialize("counter", [("idx", 1)])
+        assert rm.name_of(addr) == "counter"

@@ -1,0 +1,102 @@
+"""Unit tests for the lexer."""
+
+import pytest
+
+from repro.errors import LexError
+from repro.lang.lexer import tokenize
+from repro.lang.tokens import TokenKind as K
+
+
+def kinds(src):
+    return [t.kind for t in tokenize(src)]
+
+
+def values(src):
+    return [t.value for t in tokenize(src) if t.value is not None]
+
+
+class TestBasics:
+    def test_empty_input_yields_eof(self):
+        toks = tokenize("")
+        assert len(toks) == 1 and toks[0].kind is K.EOF
+
+    def test_identifiers_and_keywords(self):
+        assert kinds("int x")[:2] == [K.KW_INT, K.IDENT]
+        assert kinds("while_x")[0] is K.IDENT  # not the keyword
+        assert kinds("lock_t l")[0] is K.KW_LOCK
+
+    def test_all_keywords(self):
+        src = "int double void lock_t struct if else while for return break continue"
+        expected = [
+            K.KW_INT, K.KW_DOUBLE, K.KW_VOID, K.KW_LOCK, K.KW_STRUCT,
+            K.KW_IF, K.KW_ELSE, K.KW_WHILE, K.KW_FOR, K.KW_RETURN,
+            K.KW_BREAK, K.KW_CONTINUE, K.EOF,
+        ]
+        assert kinds(src) == expected
+
+    def test_underscore_identifier(self):
+        toks = tokenize("_foo __bar_9")
+        assert [t.value for t in toks[:2]] == ["_foo", "__bar_9"]
+
+
+class TestNumbers:
+    def test_integer_literal(self):
+        toks = tokenize("42")
+        assert toks[0].kind is K.INT_LIT and toks[0].value == 42
+
+    def test_float_forms(self):
+        assert values("1.5") == [1.5]
+        assert values(".5") == [0.5]
+        assert values("2.") == [2.0]
+        assert values("1e3") == [1000.0]
+        assert values("1.5e-2") == [0.015]
+        assert values("2E+1") == [20.0]
+
+    def test_int_then_member_not_float(self):
+        # "1.x" should not be lexed as a float followed by ident
+        toks = tokenize("a.b")
+        assert [t.kind for t in toks[:3]] == [K.IDENT, K.DOT, K.IDENT]
+
+    def test_negative_is_separate_minus(self):
+        assert kinds("-3")[:2] == [K.MINUS, K.INT_LIT]
+
+
+class TestOperators:
+    def test_two_char_operators(self):
+        src = "== != <= >= && || -> += -= *= /= ++ --"
+        expected = [
+            K.EQ, K.NE, K.LE, K.GE, K.ANDAND, K.OROR, K.ARROW,
+            K.PLUS_ASSIGN, K.MINUS_ASSIGN, K.STAR_ASSIGN, K.SLASH_ASSIGN,
+            K.PLUSPLUS, K.MINUSMINUS, K.EOF,
+        ]
+        assert kinds(src) == expected
+
+    def test_single_char_operators(self):
+        src = "( ) { } [ ] ; , . = + - * / % & ! < >"
+        got = kinds(src)
+        assert got[-1] is K.EOF and len(got) == 20
+
+    def test_maximal_munch(self):
+        # ">=" lexes as one token, not "> ="
+        assert kinds("a>=b") == [K.IDENT, K.GE, K.IDENT, K.EOF]
+
+
+class TestCommentsAndErrors:
+    def test_line_comment(self):
+        assert kinds("a // comment\n b") == [K.IDENT, K.IDENT, K.EOF]
+
+    def test_block_comment(self):
+        assert kinds("a /* x\ny */ b") == [K.IDENT, K.IDENT, K.EOF]
+
+    def test_unterminated_block_comment(self):
+        with pytest.raises(LexError):
+            tokenize("a /* never closed")
+
+    def test_unexpected_character(self):
+        with pytest.raises(LexError):
+            tokenize("a $ b")
+
+    def test_location_tracking(self):
+        toks = tokenize("a\n  b")
+        assert toks[0].loc.line == 1 and toks[0].loc.column == 1
+        assert toks[1].loc.line == 2 and toks[1].loc.column == 3

@@ -1,0 +1,95 @@
+"""KSR2 timing model and speedup machinery tests."""
+
+from repro.lang import compile_source
+from repro.layout import DataLayout
+from repro.machine import (
+    KSR2Config,
+    SpeedupCurve,
+    base_latency,
+    build_curve,
+    improvement_while_scaling,
+    time_run,
+)
+from repro.runtime import run_program
+
+from conftest import COUNTER_SRC
+
+
+class TestLatencyModel:
+    def test_local_ring(self):
+        cfg = KSR2Config()
+        assert base_latency(1, cfg) == cfg.local_latency
+        assert base_latency(32, cfg) == cfg.local_latency
+
+    def test_cross_ring_mix(self):
+        cfg = KSR2Config()
+        lat48 = base_latency(48, cfg)
+        assert cfg.local_latency < lat48 < cfg.remote_latency
+        assert base_latency(56, cfg) > lat48
+
+    def test_time_run_components(self):
+        checked = compile_source(COUNTER_SRC)
+        run = run_program(checked, DataLayout(checked, nprocs=4), 4)
+        t = time_run(run, KSR2Config(cpi=2.0))
+        assert t.cycles > 0
+        assert t.cycles == t.serial_cycles + t.parallel_cycles
+        assert 0.0 <= t.utilization < 1.0
+        assert t.effective_latency >= t.base_latency
+
+    def test_contention_increases_latency(self):
+        checked = compile_source(COUNTER_SRC)
+        r8 = run_program(checked, DataLayout(checked, nprocs=8), 8)
+        cheap = time_run(r8, KSR2Config(cpi=2.0, occupancy=1.0))
+        costly = time_run(r8, KSR2Config(cpi=2.0, occupancy=30.0))
+        assert costly.effective_latency > cheap.effective_latency
+
+
+class TestSpeedupCurves:
+    def _runner(self, checked):
+        def run_at(nprocs):
+            return run_program(
+                checked, DataLayout(checked, nprocs=nprocs), nprocs
+            )
+        return run_at
+
+    def test_normalized_to_uniprocessor(self):
+        checked = compile_source(COUNTER_SRC)
+        curve, base = build_curve(
+            "N", self._runner(checked), (1, 2, 4), cfg=KSR2Config(cpi=4.0)
+        )
+        assert curve.points[1] == 1.0
+        assert base > 0
+
+    def test_external_baseline(self):
+        checked = compile_source(COUNTER_SRC)
+        _, base = build_curve("N", self._runner(checked), (1, 2),
+                              cfg=KSR2Config(cpi=4.0))
+        curve2, base2 = build_curve(
+            "C", self._runner(checked), (1, 2),
+            baseline_cycles=base, cfg=KSR2Config(cpi=4.0),
+        )
+        assert base2 == base
+
+    def test_max_and_scaled_range(self):
+        c = SpeedupCurve("x", points={1: 1.0, 2: 1.8, 4: 2.5, 8: 2.1})
+        assert c.max_speedup == 2.5 and c.max_at == 4
+        assert c.scaled_range() == [1, 2, 4]
+
+    def test_improvement_while_scaling(self):
+        from repro.machine import TimingResult
+
+        def t(cycles):
+            return TimingResult(
+                nprocs=1, cycles=cycles, serial_cycles=0.0,
+                parallel_cycles=cycles, utilization=0.0,
+                effective_latency=175.0, base_latency=175.0,
+                transactions=0, misses_per_proc={},
+            )
+
+        unopt = SpeedupCurve("N", points={1: 1.0, 2: 2.0, 4: 1.5},
+                             timings={1: t(100), 2: t(50), 4: t(66)})
+        opt = SpeedupCurve("C", points={1: 1.0, 2: 2.2, 4: 3.0},
+                           timings={1: t(100), 2: t(45), 4: t(33)})
+        imp = improvement_while_scaling(unopt, opt)
+        assert set(imp) == {1, 2}  # the range where N still scales
+        assert imp[2] == 1.0 - 45 / 50

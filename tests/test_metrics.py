@@ -1,0 +1,57 @@
+"""Metrics helpers: attribution, sweeps, and structure ranking."""
+
+from repro.harness import Pipeline
+from repro.sim import (
+    attribute_misses,
+    simulate_run,
+    sweep_block_sizes,
+    top_fs_structures,
+)
+
+from conftest import COUNTER_SRC
+
+
+def _run():
+    pipe = Pipeline(COUNTER_SRC)
+    return pipe.run_unoptimized(8)
+
+
+class TestAttribution:
+    def test_totals_conserved(self):
+        vr = _run()
+        sim = vr.simulate(32)
+        attributed = attribute_misses(sim, vr.regions())
+        assert sum(s.total for s in attributed.values()) == sim.total_misses
+        assert (
+            sum(s.false_sharing for s in attributed.values())
+            == sim.misses.false_sharing
+        )
+
+    def test_other_misses_derived(self):
+        vr = _run()
+        sim = vr.simulate(32)
+        for s in attribute_misses(sim, vr.regions()).values():
+            assert s.other == s.total - s.false_sharing
+            assert s.other >= 0
+
+    def test_top_ranking_sorted(self):
+        vr = _run()
+        sim = vr.simulate(32)
+        top = top_fs_structures(sim, vr.regions(), 3)
+        fs = [s.false_sharing for s in top]
+        assert fs == sorted(fs, reverse=True)
+
+
+class TestSweep:
+    def test_sweep_covers_sizes(self):
+        vr = _run()
+        sweep = sweep_block_sizes(vr.run, [16, 64, 128])
+        assert set(sweep.results) == {16, 64, 128}
+        fracs = sweep.fs_fraction_by_size
+        assert all(0.0 <= f <= 1.0 for f in fracs.values())
+
+    def test_simulate_run_denominator_includes_private(self):
+        vr = _run()
+        sim = simulate_run(vr.run, 64)
+        assert sim.extra_refs == sum(vr.run.private_refs.values())
+        assert sim.miss_rate <= sim.total_misses / max(sim.refs, 1)

@@ -1,0 +1,166 @@
+"""Unit tests for the parser."""
+
+import pytest
+
+from repro.errors import ParseError
+from repro.lang import astnodes as A
+from repro.lang import ctypes as T
+from repro.lang.parser import parse, parse_expression
+from repro.lang.printer import format_expr
+
+
+def parse_one_func(body: str, decls: str = "") -> A.FuncDef:
+    prog = parse(decls + "\nvoid f()\n{\n" + body + "\n}\n")
+    fn = prog.func("f")
+    assert fn is not None
+    return fn
+
+
+class TestTopLevel:
+    def test_globals_and_functions(self):
+        prog = parse("int a; double b[4]; void f() { }")
+        assert [g.name for g in prog.globals] == ["a", "b"]
+        assert isinstance(prog.globals[1].type, T.ArrayType)
+        assert prog.func("f") is not None
+
+    def test_multi_declarators(self):
+        prog = parse("int a, b[2], *c;")
+        assert [g.name for g in prog.globals] == ["a", "b", "c"]
+        assert isinstance(prog.globals[2].type, T.PointerType)
+
+    def test_struct_definition_and_layout(self):
+        prog = parse("struct p { int x; double y; }; struct p q;")
+        ty = prog.globals[0].type
+        assert isinstance(ty, T.StructType)
+        assert ty.field("x").offset == 0
+        assert ty.field("y").offset == 8  # aligned
+        assert ty.size == 16
+
+    def test_forward_struct_reference_via_pointer(self):
+        prog = parse(
+            "struct a { struct b *next; }; struct b { int v; }; struct a x;"
+        )
+        ty = prog.globals[0].type
+        nxt = ty.field("next").type
+        assert isinstance(nxt, T.PointerType)
+        assert isinstance(nxt.target, T.StructType)
+        assert nxt.target.name == "b"
+
+    def test_undefined_struct_rejected(self):
+        with pytest.raises(ParseError):
+            parse("struct a { struct nope *next; }; int main() { return 0; }")
+
+    def test_duplicate_struct_rejected(self):
+        with pytest.raises(ParseError):
+            parse("struct a { int x; }; struct a { int y; };")
+
+    def test_function_params(self):
+        prog = parse("int f(int a, double *b) { return a; }")
+        fn = prog.func("f")
+        assert [p.name for p in fn.params] == ["a", "b"]
+        assert isinstance(fn.params[1].type, T.PointerType)
+
+    def test_multidim_array(self):
+        prog = parse("int g[4][8];")
+        ty = prog.globals[0].type
+        assert ty.dims == (4, 8)
+        assert ty.size == 4 * 8 * 4
+
+
+class TestStatements:
+    def test_if_else_chain(self):
+        fn = parse_one_func("if (1) { } else if (2) { } else { }")
+        stmt = fn.body.body[0]
+        assert isinstance(stmt, A.If)
+        assert isinstance(stmt.orelse, A.If)
+
+    def test_for_with_empty_parts(self):
+        fn = parse_one_func("for (;;) { break; }")
+        stmt = fn.body.body[0]
+        assert isinstance(stmt, A.For)
+        assert stmt.init is None and stmt.cond is None and stmt.update is None
+
+    def test_increment_sugar(self):
+        fn = parse_one_func("int i; i = 0; i++; i--;")
+        incr = fn.body.body[2]
+        assert isinstance(incr, A.Assign) and incr.op == "+"
+        decr = fn.body.body[3]
+        assert decr.op == "-"
+
+    def test_compound_assignment(self):
+        fn = parse_one_func("int i; i = 0; i += 2; i *= 3;")
+        assert fn.body.body[2].op == "+"
+        assert fn.body.body[3].op == "*"
+
+    def test_assignment_target_must_be_lvalue(self):
+        with pytest.raises(ParseError):
+            parse_one_func("1 = 2;")
+
+    def test_while_and_nested_blocks(self):
+        fn = parse_one_func("while (1) { { continue; } }")
+        w = fn.body.body[0]
+        assert isinstance(w, A.While)
+
+    def test_return_forms(self):
+        fn = parse_one_func("if (1) { return; } return;")
+        assert isinstance(fn.body.body[-1], A.Return)
+
+
+class TestExpressions:
+    def test_precedence_mul_over_add(self):
+        e = parse_expression("1 + 2 * 3")
+        assert isinstance(e, A.BinOp) and e.op == "+"
+        assert isinstance(e.right, A.BinOp) and e.right.op == "*"
+
+    def test_precedence_cmp_over_logic(self):
+        e = parse_expression("a < b && c > d")
+        assert e.op == "&&"
+        assert e.left.op == "<" and e.right.op == ">"
+
+    def test_parentheses(self):
+        e = parse_expression("(1 + 2) * 3")
+        assert e.op == "*" and e.left.op == "+"
+
+    def test_left_associativity(self):
+        e = parse_expression("a - b - c")
+        assert e.op == "-" and e.left.op == "-"
+
+    def test_unary_chain(self):
+        e = parse_expression("-!x")
+        assert e.op == "-" and e.operand.op == "!"
+
+    def test_postfix_chain(self):
+        e = parse_expression("a[1].f->g[2]")
+        assert isinstance(e, A.Index)
+        assert isinstance(e.base, A.Member) and e.base.arrow
+
+    def test_call_with_args(self):
+        e = parse_expression("f(a, 1 + 2)")
+        assert isinstance(e, A.Call) and len(e.args) == 2
+
+    def test_alloc_forms(self):
+        e = parse_expression("alloc(struct foo)")
+        # struct foo is pending; type_name keeps the spelling
+        assert isinstance(e, A.Alloc) and e.count is None
+        e2 = parse_expression("alloc_array(int, n * 2)")
+        assert isinstance(e2, A.Alloc) and e2.count is not None
+        assert e2.type_name == "int"
+
+    def test_address_of_and_deref(self):
+        e = parse_expression("&a[0]")
+        assert isinstance(e, A.UnOp) and e.op == "&"
+        e2 = parse_expression("*p")
+        assert e2.op == "*"
+
+    def test_trailing_tokens_rejected(self):
+        with pytest.raises(ParseError):
+            parse_expression("a b")
+
+    def test_missing_semicolon(self):
+        with pytest.raises(ParseError):
+            parse("void f() { int x = 1 }")
+
+    def test_roundtrip_through_printer(self):
+        for text in ("a + b * c", "a[i]->f.g", "f(x, y % 3)", "-(a - 2)"):
+            again = format_expr(parse_expression(text))
+            assert parse_expression(again) is not None

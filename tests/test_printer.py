@@ -1,0 +1,51 @@
+"""Printer tests: formatting and parse→print→parse stability."""
+
+from repro.lang import compile_source, parse, to_source
+from repro.lang.printer import format_decl, format_expr
+from repro.lang.parser import parse_expression
+from repro.lang import ctypes as T
+
+from conftest import BLOCKED_SRC, COUNTER_SRC, HEAP_SRC
+
+
+class TestFormatting:
+    def test_decl_forms(self):
+        assert format_decl("x", T.INT) == "int x"
+        assert format_decl("p", T.PointerType(T.DOUBLE)) == "double *p"
+        assert format_decl("a", T.ArrayType(T.INT, (4, 8))) == "int a[4][8]"
+        assert (
+            format_decl("q", T.ArrayType(T.PointerType(T.INT), (3,)))
+            == "int *q[3]"
+        )
+
+    def test_expr_parenthesization(self):
+        assert format_expr(parse_expression("(a + b) * c")) == "(a + b) * c"
+        assert format_expr(parse_expression("a + b * c")) == "a + b * c"
+        assert format_expr(parse_expression("-(a + b)")) == "-(a + b)"
+
+    def test_float_literal_keeps_point(self):
+        assert "." in format_expr(parse_expression("2.0"))
+
+
+class TestRoundTrip:
+    def _stable(self, src: str):
+        once = to_source(parse(src))
+        twice = to_source(parse(once))
+        assert once == twice
+        # and the re-parsed program still checks
+        compile_source(once)
+
+    def test_counter_program(self):
+        self._stable(COUNTER_SRC)
+
+    def test_heap_program(self):
+        self._stable(HEAP_SRC)
+
+    def test_blocked_program(self):
+        self._stable(BLOCKED_SRC)
+
+    def test_workload_sources(self):
+        from repro.workloads import ALL_WORKLOADS
+
+        for wl in ALL_WORKLOADS:
+            self._stable(wl.source)

@@ -1,0 +1,89 @@
+"""Source-to-source rewriter tests: renderings re-parse; plans without
+indirection render to executable programs with identical behaviour and
+no false sharing under the *natural* layout."""
+
+from repro.analysis import analyze_program
+from repro.lang import compile_source
+from repro.layout import DataLayout
+from repro.runtime import run_program
+from repro.sim import simulate_run
+from repro.transform import (
+    decide_transformations,
+    render_transformed_source,
+)
+
+from conftest import COUNTER_SRC, HEAP_SRC
+
+
+def compiler_rendering(src: str, nprocs: int = 4):
+    checked = compile_source(src)
+    plan = decide_transformations(analyze_program(checked, nprocs))
+    return checked, plan, render_transformed_source(
+        checked, plan, nprocs=nprocs
+    )
+
+
+class TestRendering:
+    def test_counter_rendering_reparses(self):
+        _, _, text = compiler_rendering(COUNTER_SRC)
+        compile_source(text)
+
+    def test_heap_rendering_reparses(self):
+        _, plan, text = compiler_rendering(HEAP_SRC)
+        assert plan.indirections
+        compile_source(text)
+        assert "arena" in text  # indirection annotated
+
+    def test_plan_description_in_header(self):
+        _, _, text = compiler_rendering(COUNTER_SRC)
+        assert text.startswith("// Transformed")
+        assert "group & transpose" in text or "pad" in text
+
+    def test_region_struct_emitted(self):
+        _, _, text = compiler_rendering(COUNTER_SRC)
+        assert "__fs_region" in text
+        assert "__pad" in text
+
+    def test_indirected_field_retyped(self):
+        _, _, text = compiler_rendering(HEAP_SRC)
+        assert "int *count;" in text
+        assert "*nodes[i]->count += 1;" in text
+
+
+class TestExecutableEquivalence:
+    def _equiv(self, src: str, nprocs: int = 4):
+        checked = compile_source(src)
+        plan = decide_transformations(analyze_program(checked, nprocs))
+        assert not plan.indirections, "use a g&t/pad-only program here"
+        text = render_transformed_source(checked, plan, nprocs=nprocs)
+        transformed = compile_source(text)
+        base = run_program(checked, DataLayout(checked, nprocs=nprocs), nprocs)
+        rendered = run_program(
+            transformed, DataLayout(transformed, nprocs=nprocs), nprocs
+        )
+        return base, rendered
+
+    def test_counter_outputs_match(self):
+        base, rendered = self._equiv(COUNTER_SRC)
+        assert base.output == rendered.output
+
+    def test_rendered_program_has_no_false_sharing(self):
+        base, rendered = self._equiv(COUNTER_SRC)
+        fs_base = simulate_run(base, 128).misses.false_sharing
+        fs_rendered = simulate_run(rendered, 128).misses.false_sharing
+        assert fs_base > 100
+        assert fs_rendered < fs_base * 0.05
+
+    def test_workload_rendering_equivalence(self):
+        from repro.workloads import WATER
+
+        pipe = WATER.pipeline()
+        plan = pipe.compiler_plan(4)
+        assert not plan.indirections
+        text = render_transformed_source(pipe.checked, plan, nprocs=4)
+        transformed = compile_source(text)
+        base = pipe.run_unoptimized(4)
+        rendered = run_program(
+            transformed, DataLayout(transformed, nprocs=4), 4
+        )
+        assert base.run.output == rendered.output

@@ -1,0 +1,95 @@
+"""Descriptor element unit tests (Point / Range / Unknown /
+StridedUnknown and RSD containers)."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.rsd import Affine, PDV, Point, RSD, Range, UNKNOWN
+from repro.rsd.descriptor import StridedUnknown, Unknown
+
+
+class TestPoint:
+    def test_instantiate(self):
+        p = Point(Affine.pdv(3) + 1)
+        assert p.instantiate(2) == (7, 7, 1)
+
+    def test_pdv_dependence(self):
+        assert Point(Affine.pdv()).depends_on_pdv
+        assert not Point(Affine.constant(4)).depends_on_pdv
+
+    def test_str(self):
+        assert str(Point(Affine.pdv())) == "pdv"
+
+
+class TestRange:
+    def test_count(self):
+        r = Range(Affine.constant(0), Affine.constant(9), 2)
+        assert r.count == 5
+
+    def test_count_symbolic_span_none(self):
+        r = Range(Affine.pdv(), Affine.constant(10), 1)
+        assert r.count is None
+
+    def test_empty_range_count_zero(self):
+        r = Range(Affine.constant(5), Affine.constant(3), 1)
+        assert r.count == 0
+
+    def test_stride_must_be_positive(self):
+        with pytest.raises(ValueError):
+            Range(Affine.constant(0), Affine.constant(4), 0)
+
+    def test_instantiate_with_pdv(self):
+        r = Range(Affine.pdv(8), Affine.pdv(8) + 7, 1)
+        assert r.instantiate(3) == (24, 31, 1)
+
+
+class TestUnknowns:
+    def test_unknown_singleton(self):
+        assert Unknown() is UNKNOWN
+        assert Unknown() == UNKNOWN
+        assert hash(Unknown()) == hash(UNKNOWN)
+
+    def test_strided_unknown_equality(self):
+        assert StridedUnknown(2) == StridedUnknown(2)
+        assert StridedUnknown(2) != StridedUnknown(4)
+        assert StridedUnknown(1).instantiate(0) is None
+
+    def test_str_forms(self):
+        assert str(UNKNOWN) == "?"
+        assert str(StridedUnknown(4)) == "?:?:4"
+
+
+class TestRSD:
+    def test_scalar(self):
+        r = RSD.scalar()
+        assert r.ndim == 0 and not r.depends_on_pdv
+        assert r.instantiate(0) == ()
+        assert str(r) == "[·]"
+
+    def test_instantiate_none_on_unknown_dim(self):
+        r = RSD((Point(Affine.pdv()), UNKNOWN))
+        assert r.instantiate(0) is None
+        assert r.has_unknown
+
+    def test_strided_unknown_counts_as_unknown(self):
+        r = RSD((StridedUnknown(1),))
+        assert r.has_unknown and r.instantiate(2) is None
+
+    def test_multidim_instantiation(self):
+        r = RSD((
+            Range(Affine.constant(0), Affine.constant(3), 1),
+            Point(Affine.pdv()),
+        ))
+        assert r.instantiate(5) == ((0, 3, 1), (5, 5, 1))
+        assert r.depends_on_pdv
+
+    @given(st.integers(0, 31), st.integers(0, 7))
+    def test_point_instantiation_matches_affine(self, c, pdv):
+        p = Point(Affine.pdv(2) + c)
+        lo, hi, st_ = p.instantiate(pdv)
+        assert lo == hi == 2 * pdv + c and st_ == 1
+
+    def test_rsd_equality_and_hash(self):
+        a = RSD((Point(Affine.pdv()),))
+        b = RSD((Point(Affine.pdv()),))
+        assert a == b and hash(a) == hash(b)

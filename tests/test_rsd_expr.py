@@ -1,0 +1,95 @@
+"""Affine-form algebra tests (including property-based)."""
+
+from hypothesis import given, strategies as st
+
+from repro.rsd.expr import PDV, Affine
+
+symbols = st.sampled_from(["i", "j", "k", PDV])
+coeffs = st.integers(min_value=-20, max_value=20)
+
+
+@st.composite
+def affines(draw):
+    const = draw(st.integers(min_value=-100, max_value=100))
+    terms = draw(
+        st.dictionaries(symbols, coeffs, max_size=3)
+    )
+    a = Affine.constant(const)
+    for name, c in terms.items():
+        a = a + Affine.var(name, c)
+    return a
+
+
+class TestConstruction:
+    def test_constant(self):
+        a = Affine.constant(5)
+        assert a.is_constant and a.const == 5 and a.value() == 5
+
+    def test_zero_coefficients_dropped(self):
+        assert Affine.var("x", 0) == Affine.constant(0)
+        a = Affine.var("x") - Affine.var("x")
+        assert a.is_constant
+
+    def test_pdv_helpers(self):
+        a = Affine.pdv(3)
+        assert a.pdv_coeff == 3 and a.depends_on_pdv
+
+    def test_str_readable(self):
+        text = str(Affine.pdv(2) + 5)
+        assert "pdv" in text and "5" in text
+
+
+class TestArithmetic:
+    def test_add_sub(self):
+        a = Affine.var("i", 2) + 3
+        b = Affine.var("i", 1) + Affine.var("j", 4)
+        s = a + b
+        assert s.coeff("i") == 3 and s.coeff("j") == 4 and s.const == 3
+        assert (s - b) == a
+
+    def test_mul_constant_only(self):
+        a = Affine.var("i") + 1
+        assert a.mul(Affine.constant(3)) == a.scale(3)
+        assert a.mul(Affine.var("j")) is None
+
+    def test_div_exact(self):
+        a = Affine.var("i", 4) + 8
+        assert a.div_exact(4) == Affine.var("i") + 2
+        assert a.div_exact(3) is None
+        assert a.div_exact(0) is None
+
+    def test_substitute_and_value(self):
+        a = Affine.var("i", 2) + Affine.pdv(3) + 1
+        v = a.value({"i": 5, PDV: 2})
+        assert v == 2 * 5 + 3 * 2 + 1
+
+    def test_value_unbound_raises(self):
+        import pytest
+
+        with pytest.raises(ValueError):
+            (Affine.var("i")).value()
+
+
+class TestProperties:
+    @given(affines(), affines())
+    def test_addition_commutes(self, a, b):
+        assert a + b == b + a
+
+    @given(affines(), affines(), affines())
+    def test_addition_associates(self, a, b, c):
+        assert (a + b) + c == a + (b + c)
+
+    @given(affines())
+    def test_sub_self_is_zero(self, a):
+        z = a - a
+        assert z.is_constant and z.const == 0
+
+    @given(affines(), st.integers(min_value=-10, max_value=10))
+    def test_scale_matches_eval(self, a, k):
+        env = {name: 3 for name in a.symbols}
+        assert a.scale(k).value(env) == k * a.value(env)
+
+    @given(affines(), affines(), st.dictionaries(symbols, st.integers(-50, 50)))
+    def test_eval_homomorphism(self, a, b, env):
+        full_env = {name: env.get(name, 1) for name in (a.symbols | b.symbols)}
+        assert (a + b).value(full_env) == a.value(full_env) + b.value(full_env)

@@ -1,0 +1,177 @@
+"""RSD algebra: projection, merging, disjointness (with brute-force
+cross-checks via hypothesis)."""
+
+from hypothesis import given, strategies as st
+
+from repro.rsd import (
+    Affine,
+    PDV,
+    Point,
+    RSD,
+    Range,
+    UNKNOWN,
+    add_descriptor,
+    ap_intersect,
+    disjoint_across_pdv,
+    merge_elems,
+    owner_of,
+    project_loops,
+    sections_intersect,
+)
+from repro.rsd.descriptor import StridedUnknown
+from repro.rsd.ops import MAX_DESCRIPTORS
+
+
+def ap_set(lo, hi, stride):
+    return set(range(lo, hi + 1, stride)) if lo <= hi else set()
+
+
+class TestAPIntersect:
+    @given(
+        st.integers(0, 60), st.integers(0, 60), st.integers(1, 8),
+        st.integers(0, 60), st.integers(0, 60), st.integers(1, 8),
+    )
+    def test_matches_brute_force(self, lo1, span1, s1, lo2, span2, s2):
+        a = (lo1, lo1 + span1, s1)
+        b = (lo2, lo2 + span2, s2)
+        expected = bool(ap_set(*a) & ap_set(*b))
+        assert ap_intersect(a, b) == expected
+
+    def test_disjoint_residues(self):
+        assert not ap_intersect((0, 100, 4), (1, 101, 4))
+
+    def test_common_element(self):
+        assert ap_intersect((0, 12, 3), (4, 20, 5))  # hits 9? 0,3,6,9,12 & 4,9,14 -> 9
+
+
+class TestProjection:
+    def test_plain_loop(self):
+        e = project_loops(
+            Affine.var("i"), {"i": (Affine.constant(0), Affine.constant(9), 1)}
+        )
+        assert isinstance(e, Range) and e.stride == 1
+        assert e.instantiate(0) == (0, 9, 1)
+
+    def test_blocked_partition(self):
+        idx = Affine.pdv(16) + Affine.var("i")
+        e = project_loops(idx, {"i": (Affine.constant(0), Affine.constant(15), 1)})
+        assert isinstance(e, Range)
+        assert e.instantiate(2) == (32, 47, 1)
+
+    def test_scaled_stride(self):
+        e = project_loops(
+            Affine.var("i", 4),
+            {"i": (Affine.constant(0), Affine.constant(7), 1)},
+        )
+        assert isinstance(e, Range) and e.stride == 4
+
+    def test_negative_coefficient(self):
+        e = project_loops(
+            -Affine.var("i"),
+            {"i": (Affine.constant(0), Affine.constant(5), 1)},
+        )
+        assert isinstance(e, Range)
+        assert e.instantiate(0) == (-5, 0, 1)
+
+    def test_unbound_loop_var_unknown(self):
+        assert project_loops(Affine.var("i"), {}) == UNKNOWN
+
+    def test_no_loops_gives_point(self):
+        e = project_loops(Affine.pdv() + 2, {})
+        assert isinstance(e, Point)
+
+    def test_opaque_symbol_gives_strided_unknown(self):
+        idx = Affine.var("@offset") + Affine.var("i")
+        e = project_loops(
+            idx, {"i": (Affine.constant(0), Affine.constant(9), 1)}
+        )
+        assert isinstance(e, StridedUnknown) and e.stride == 1
+
+    def test_opaque_point_is_unknown(self):
+        assert project_loops(Affine.var("@offset"), {}) == UNKNOWN
+
+
+class TestDisjointness:
+    def test_point_pdv(self):
+        assert disjoint_across_pdv(RSD((Point(Affine.pdv()),)), 8)
+
+    def test_blocked(self):
+        r = RSD((Range(Affine.pdv(16), Affine.pdv(16) + 15, 1),))
+        assert disjoint_across_pdv(r, 8)
+
+    def test_cyclic(self):
+        r = RSD((Range(Affine.pdv(), Affine.constant(99), 8),))
+        assert disjoint_across_pdv(r, 8)
+        assert not disjoint_across_pdv(r, 16)
+
+    def test_full_range_not_disjoint(self):
+        r = RSD((Range(Affine.constant(0), Affine.constant(99), 1),))
+        assert not disjoint_across_pdv(r, 8)
+
+    def test_unknown_not_disjoint(self):
+        assert not disjoint_across_pdv(RSD((UNKNOWN,)), 4)
+        assert not disjoint_across_pdv(RSD((StridedUnknown(1),)), 4)
+
+    def test_multidim_one_disjoint_dim_suffices(self):
+        r = RSD((Range(Affine.constant(0), Affine.constant(9), 1),
+                 Point(Affine.pdv())))
+        assert disjoint_across_pdv(r, 4)
+
+    @given(st.integers(2, 12), st.integers(1, 6))
+    def test_blocked_always_disjoint(self, nprocs, chunk):
+        r = RSD((Range(Affine.pdv(chunk), Affine.pdv(chunk) + chunk - 1, 1),))
+        assert disjoint_across_pdv(r, nprocs)
+
+
+class TestOwnerAndOverlap:
+    def test_owner_of_blocked(self):
+        r = RSD((Range(Affine.pdv(16), Affine.pdv(16) + 15, 1),))
+        assert owner_of(r, (37,), 8) == 2
+        assert owner_of(r, (1000,), 8) is None
+
+    def test_owner_of_cyclic(self):
+        r = RSD((Range(Affine.pdv(), Affine.constant(99), 8),))
+        assert owner_of(r, (17,), 8) == 1
+
+    def test_sections_intersect_conservative_on_unknown(self):
+        assert sections_intersect(RSD((UNKNOWN,)), 0, RSD((UNKNOWN,)), 1)
+
+
+class TestMerge:
+    def test_identical_lossless(self):
+        e = Range(Affine.pdv(4), Affine.pdv(4) + 3, 1)
+        merged, loss = merge_elems(e, e)
+        assert merged == e and loss == 0.0
+
+    def test_adjacent_points(self):
+        merged, loss = merge_elems(Point(Affine.constant(0)), Point(Affine.constant(1)))
+        assert isinstance(merged, Range) and loss == 0.0
+
+    def test_different_pdv_coeff_unknown(self):
+        merged, loss = merge_elems(Point(Affine.pdv()), Point(Affine.pdv(2)))
+        assert merged == UNKNOWN and loss == 1.0
+
+    def test_merged_superset_property(self):
+        a = Range(Affine.constant(0), Affine.constant(10), 2)
+        b = Range(Affine.constant(5), Affine.constant(15), 5)
+        merged, _ = merge_elems(a, b)
+        assert isinstance(merged, Range)
+        got = ap_set(*merged.instantiate(0))
+        assert ap_set(0, 10, 2) <= got and ap_set(5, 15, 5) <= got
+
+    def test_strided_unknown_merge_keeps_stride(self):
+        merged, _ = merge_elems(StridedUnknown(4), StridedUnknown(6))
+        assert isinstance(merged, StridedUnknown) and merged.stride == 2
+
+    def test_add_descriptor_caps_list(self):
+        descs = []
+        for k in range(MAX_DESCRIPTORS + 5):
+            add_descriptor(descs, RSD((Point(Affine.constant(k * 100)),)), 1.0)
+        assert len(descs) <= MAX_DESCRIPTORS
+
+    def test_add_descriptor_merges_identical(self):
+        descs = []
+        r = RSD((Point(Affine.pdv()),))
+        add_descriptor(descs, r, 1.0)
+        add_descriptor(descs, r, 2.0)
+        assert len(descs) == 1 and descs[0][1] == 3.0

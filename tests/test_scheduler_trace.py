@@ -1,0 +1,106 @@
+"""Scheduler and trace-buffer unit tests."""
+
+import pytest
+
+from repro.errors import RuntimeFault
+from repro.runtime import Proc, Scheduler, TraceBuffer
+
+
+def make_proc(pid, gen):
+    p = Proc(pid=pid)
+    p.gen = gen
+    return p
+
+
+class TestScheduler:
+    def test_round_robin_order(self):
+        log = []
+
+        def task(name, n):
+            for i in range(n):
+                log.append((name, i))
+                yield
+
+        sched = Scheduler(quantum=1)
+        sched.add(make_proc(0, task("a", 3)))
+        sched.add(make_proc(1, task("b", 3)))
+        sched.run()
+        # strict alternation with quantum 1
+        assert log[:4] == [("a", 0), ("b", 0), ("a", 1), ("b", 1)]
+
+    def test_quantum_batches(self):
+        log = []
+
+        def task(name):
+            for i in range(4):
+                log.append(name)
+                yield
+
+        sched = Scheduler(quantum=2)
+        sched.add(make_proc(0, task("a")))
+        sched.add(make_proc(1, task("b")))
+        sched.run()
+        assert log[:4] == ["a", "a", "b", "b"]
+
+    def test_barrier_release(self):
+        sched = Scheduler()
+        sched.add(make_proc(0, iter(())))
+        w1, w2 = Proc(pid=0), Proc(pid=1)
+        sched.procs.extend([w1, w2])
+        gen0 = sched.barrier_arrive(0)
+        assert sched.barrier_generation == gen0
+        sched.barrier_arrive(1)
+        assert sched.barrier_generation == gen0 + 1
+        assert not sched.barrier_waiting
+
+    def test_worker_exit_releases_barrier(self):
+        sched = Scheduler()
+        w1, w2 = Proc(pid=0), Proc(pid=1)
+        sched.procs.extend([w1, w2])
+        gen0 = sched.barrier_arrive(0)
+        w2.done = True
+        sched.note_worker_done()
+        assert sched.barrier_generation == gen0 + 1
+
+    def test_max_steps_guard(self):
+        def forever():
+            while True:
+                yield
+
+        sched = Scheduler(quantum=1, max_steps=50)
+        sched.add(make_proc(0, forever()))
+        with pytest.raises(RuntimeFault, match="exceeded"):
+            sched.run()
+
+    def test_deadlock_detection(self):
+        def blocked(proc):
+            while True:
+                proc.blocked_on = ("lock", 0)
+                yield
+
+        sched = Scheduler(quantum=1)
+        p = Proc(pid=0)
+        p.gen = blocked(p)
+        sched.add(p)
+        sched.locks[0] = 99  # held by a nonexistent owner
+        with pytest.raises(RuntimeFault, match="deadlock"):
+            sched.run()
+
+
+class TestTraceBuffer:
+    def test_append_and_freeze(self):
+        buf = TraceBuffer()
+        buf.append(0, 0x1000, 4, False)
+        buf.append(1, 0x1004, 8, True)
+        assert len(buf) == 2
+        t = buf.freeze()
+        assert len(t) == 2
+        assert list(t.proc) == [0, 1]
+        assert list(t.addr) == [0x1000, 0x1004]
+        assert list(t.is_write) == [False, True]
+
+    def test_iteration(self):
+        buf = TraceBuffer()
+        buf.append(2, 64, 4, True)
+        (evt,) = list(buf.freeze())
+        assert evt == (2, 64, 4, True)

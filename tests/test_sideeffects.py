@@ -1,0 +1,150 @@
+"""Side-effect analysis and pattern aggregation tests."""
+
+from repro.analysis import Target, analyze_program
+from repro.lang import compile_source
+from repro.rsd import Point, Range
+from repro.rsd.expr import PDV
+
+
+WRAP = """
+{decls}
+void w(int pid)
+{{
+{body}
+}}
+int main()
+{{
+    int p;
+{init}
+    for (p = 0; p < nprocs(); p++) {{ create(w, p); }}
+    wait_for_end();
+    return 0;
+}}
+"""
+
+
+def patterns(decls: str, body: str, init: str = "", nprocs: int = 8):
+    src = WRAP.format(decls=decls, body=body, init=init)
+    return analyze_program(compile_source(src), nprocs)
+
+
+class TestTargets:
+    def test_scalar_target(self):
+        pa = patterns("int g;", "    g = pid;")
+        pat = pa.patterns[Target("g")]
+        assert pat.writes > 0
+
+    def test_array_pdv_index(self):
+        pa = patterns("int a[64];", "    a[pid] = 1;")
+        pat = pa.patterns[Target("a")]
+        assert pat.writes_pdv_disjoint
+        (rsd, _w) = pat.write_descriptors[0]
+        assert isinstance(rsd.elems[0], Point)
+        assert rsd.elems[0].value.pdv_coeff == 1
+
+    def test_struct_field_paths_distinct(self):
+        pa = patterns(
+            "struct c { int x; int y; }; struct c cells[32];",
+            "    cells[pid].x = 1;\n    cells[pid].y = 2;",
+        )
+        assert Target("cells", ("x",)) in pa.patterns
+        assert Target("cells", ("y",)) in pa.patterns
+
+    def test_pointer_array_heap_field(self, heap_checked):
+        pa = analyze_program(heap_checked, 8)
+        tgt = Target("nodes", ("*", "count"))
+        pat = pa.patterns[tgt]
+        assert pat.record_field == ("node", "count")
+        assert pat.writes_are_per_process
+
+    def test_pointer_hop_emits_pointer_read(self, heap_checked):
+        pa = analyze_program(heap_checked, 8)
+        # the pointer array itself is read on every hop
+        reads = [
+            e for e in pa.side_effects.entries
+            if e.target == Target("nodes") and not e.is_write
+        ]
+        assert reads
+
+    def test_cyclic_partition_detected(self, heap_checked):
+        pa = analyze_program(heap_checked, 8)
+        pat = pa.patterns[Target("nodes", ("*", "count"))]
+        (rsd, _) = pat.write_descriptors[0]
+        assert isinstance(rsd.elems[0], Range)
+        assert rsd.elems[0].stride == 8
+
+    def test_blocked_partition_with_invariant_chunk(self, blocked_checked):
+        pa = analyze_program(blocked_checked, 8)
+        pat = pa.patterns[Target("data")]
+        assert pat.writes_pdv_disjoint
+
+    def test_lock_targets_flagged(self, counter_checked):
+        pa = analyze_program(counter_checked, 8)
+        pat = pa.patterns[Target("biglock")]
+        assert pat.is_lock
+
+    def test_alias_through_local_pointer(self):
+        pa = patterns(
+            "struct c { int x; int pad; }; struct c *items;",
+            "    items[pid].x = 1;",
+            init="    items = alloc_array(struct c, 64);",
+        )
+        tgt = Target("items", ("*", "x"))
+        assert tgt in pa.patterns
+        assert pa.patterns[tgt].writes_are_per_process
+
+
+class TestPhasesAndProcs:
+    def test_entries_carry_phases(self, counter_checked):
+        pa = analyze_program(counter_checked, 8)
+        pat = pa.patterns[Target("total")]
+        assert set(pat.phases) == {1}
+
+    def test_serial_init_excluded_from_parallel_weights(self, blocked_checked):
+        pa = analyze_program(blocked_checked, 8)
+        pat = pa.patterns[Target("data")]
+        assert pat.serial_weight > 0  # main's init writes
+        # but the parallel classification only counts worker accesses
+        assert pat.write_pp > 0
+
+    def test_single_writer_branch(self):
+        pa = patterns(
+            "int master_flag; int a[64];",
+            "    if (pid == 0) { master_flag = 1; }\n    a[pid] = master_flag;",
+        )
+        pat = pa.patterns[Target("master_flag")]
+        writers = set()
+        for e in pat.entries:
+            if e.is_write and e.phase >= 0:
+                writers |= e.procs
+        assert writers == {0}
+
+
+class TestClassification:
+    def test_shared_writes_classified(self):
+        pa = patterns(
+            "int g[128];",
+            "    int i;\n    for (i = 0; i < 40; i++) { g[rnd(i) % 128] += 1; }",
+        )
+        pat = pa.patterns[Target("g")]
+        assert pat.write_sh > 0 and pat.write_pp == 0
+
+    def test_unit_stride_shared_reads_are_local(self):
+        pa = patterns(
+            "int src[64]; int out[64];",
+            "    int i;\n    for (i = 0; i < 64; i++) { out[pid] += src[i]; }",
+        )
+        pat = pa.patterns[Target("src")]
+        assert pat.read_sh_local > 0
+        assert pat.read_sh_nonlocal == 0
+
+    def test_pattern_shift_detection(self):
+        pa = patterns(
+            "int a[64];",
+            "    int i;\n"
+            "    a[pid] = 1;\n"
+            "    barrier();\n"
+            "    for (i = 0; i < 8; i++) { a[rnd(i + pid) % 64] += 1; }",
+        )
+        pat = pa.patterns[Target("a")]
+        assert pat.pattern_shifts

@@ -1,0 +1,56 @@
+"""Workload scalability smoke tests at small processor counts — the
+full-size Table 3 / Figure 4 sweeps live in benchmarks/.
+
+These pin the *qualitative* paper claims that survive even a short
+sweep: the compiler version never loses to the others, and the
+documented compiler-vs-programmer gaps point the right way.
+"""
+
+import pytest
+
+from repro.harness import WorkloadLab, scalability
+from repro.workloads import by_name
+
+PROCS = (1, 2, 4, 8)
+
+
+@pytest.fixture(scope="module")
+def lab():
+    return WorkloadLab()
+
+
+class TestQualitativeClaims:
+    def test_pverify_compiler_dominates(self, lab):
+        sc = scalability(by_name("Pverify"), PROCS, lab)
+        c, n, p = sc.curves["C"], sc.curves["N"], sc.curves["P"]
+        for procs in PROCS[1:]:
+            assert c.points[procs] > n.points[procs]
+            assert c.points[procs] > p.points[procs]
+
+    def test_fmm_programmer_tracks_unoptimized(self, lab):
+        sc = scalability(by_name("Fmm"), PROCS, lab)
+        n, p = sc.curves["N"], sc.curves["P"]
+        for procs in PROCS:
+            assert p.points[procs] == pytest.approx(n.points[procs], rel=0.05)
+
+    def test_water_compiler_beats_programmer(self, lab):
+        sc = scalability(by_name("Water"), PROCS, lab)
+        assert sc.curves["C"].points[8] > 1.3 * sc.curves["P"].points[8]
+
+    def test_mp3d_both_versions_poor(self, lab):
+        sc = scalability(by_name("Mp3d"), PROCS, lab)
+        # Mp3d barely scales no matter the layout (the paper: C 2.9, P 1.3)
+        assert sc.curves["C"].max_speedup < 5.0
+        assert sc.curves["C"].points[8] > sc.curves["P"].points[8]
+
+    def test_speedups_normalized_to_unoptimized_uniprocessor(self, lab):
+        sc = scalability(by_name("Raytrace"), PROCS, lab)
+        assert sc.curves["N"].points[1] == pytest.approx(1.0)
+        assert sc.baseline_cycles > 0
+
+    def test_timings_recorded_per_point(self, lab):
+        sc = scalability(by_name("Radiosity"), PROCS, lab)
+        for curve in sc.curves.values():
+            assert set(curve.timings) == set(PROCS)
+            for t in curve.timings.values():
+                assert t.cycles > 0 and t.transactions >= 0
