@@ -1,0 +1,80 @@
+"""Micro-benchmarks of the fast-path simulation engine: trace freeze,
+event-stream precompute, fast vs reference simulator throughput, and
+the simulation memo.
+
+Baselines recorded in ``benchmarks/results/engine_baseline.txt``; see
+EXPERIMENTS.md ("The performance engine") for the measurement
+protocol.
+"""
+
+import numpy as np
+
+from repro.runtime.trace import Trace, TraceBuffer
+from repro.sim import CacheConfig, build_events, simulate_trace
+from repro.sim.engine import simulate_trace_fast
+from repro.sim.simcache import cached_simulate, clear
+
+
+def synthetic_trace(n=200_000, procs=8, seed=7):
+    rng = np.random.default_rng(seed)
+    return Trace(
+        proc=rng.integers(0, procs, n).astype(np.int32),
+        addr=(rng.integers(0, 8192, n) * 4).astype(np.int64),
+        size=np.where(rng.random(n) < 0.1, 8, 4).astype(np.int32),
+        is_write=rng.random(n) < 0.4,
+    )
+
+
+def test_trace_freeze(benchmark):
+    """Columnar append + freeze of a 200k-reference trace."""
+    def go():
+        buf = TraceBuffer()
+        append = buf.append
+        for i in range(200_000):
+            append(i & 7, (i * 4) & 0xFFFF, 4, i & 1 == 0)
+        return buf.freeze()
+
+    tr = benchmark.pedantic(go, rounds=2, iterations=1)
+    assert len(tr) == 200_000
+
+
+def test_event_precompute(benchmark):
+    """Vectorized block-split + compaction for one block size."""
+    trace = synthetic_trace()
+
+    def go():
+        return build_events(trace, 128)
+
+    ev = benchmark.pedantic(go, rounds=3, iterations=1)
+    assert int(ev.repeat.sum()) >= len(trace)
+
+
+def test_sim_throughput_reference(benchmark):
+    trace = synthetic_trace(n=60_000)
+    cfg = CacheConfig(size=32 * 1024, block_size=128, assoc=4)
+    res = benchmark.pedantic(
+        lambda: simulate_trace(trace, 8, cfg), rounds=2, iterations=1
+    )
+    assert res.refs >= 60_000
+
+
+def test_sim_throughput_fast(benchmark):
+    trace = synthetic_trace(n=60_000)
+    cfg = CacheConfig(size=32 * 1024, block_size=128, assoc=4)
+    events = build_events(trace, 128)  # exclude precompute: pure sim loop
+
+    def go():
+        return simulate_trace_fast(trace, 8, cfg, events=events)
+
+    res = benchmark.pedantic(go, rounds=2, iterations=1)
+    assert res.refs >= 60_000
+
+
+def test_sim_memo_hit(benchmark):
+    """A repeat simulation of the same (trace, geometry) is a dict hit."""
+    clear()
+    trace = synthetic_trace(n=60_000)
+    cfg = CacheConfig(size=32 * 1024, block_size=128, assoc=4)
+    first = cached_simulate(trace, 8, cfg)
+    res = benchmark(cached_simulate, trace, 8, cfg)
+    assert res is first

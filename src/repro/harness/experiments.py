@@ -18,6 +18,8 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Iterable, Optional, Sequence
 
+from repro.harness import parallel
+from repro.harness.parallel import Point, resolve_plan
 from repro.harness.pipeline import Pipeline, VersionRun
 from repro.machine import KSR2Config, SpeedupCurve, build_curve
 from repro.transform import ALL_KINDS, TransformPlan
@@ -25,6 +27,7 @@ from repro.workloads.base import Workload
 from repro.workloads.registry import (
     ALL_WORKLOADS,
     SIMULATION_WORKLOADS,
+    by_name,
     table1_rows,
 )
 
@@ -40,12 +43,19 @@ DEFAULT_SWEEP = (1, 2, 4, 8, 12, 16, 24, 32, 48)
 
 
 class WorkloadLab:
-    """Caches pipelines and runs across experiments."""
+    """Caches pipelines and runs across experiments.
 
-    def __init__(self, block_size: int = 128):
+    ``jobs`` bounds the worker processes used by :meth:`prefetch`
+    (default: the ``REPRO_JOBS`` environment knob, falling back to the
+    CPU count).  Version labels are ``N``/``C``/``P`` plus the Table 2
+    attribution form ``C[<kind>]``.
+    """
+
+    def __init__(self, block_size: int = 128, jobs: Optional[int] = None):
         self.block_size = block_size
+        self.jobs = jobs
         self._pipes: dict[str, Pipeline] = {}
-        self._runs: dict[tuple[str, str, int], VersionRun] = {}
+        self._runs: dict[Point, VersionRun] = {}
 
     def pipeline(self, wl: Workload) -> Pipeline:
         pipe = self._pipes.get(wl.name)
@@ -57,10 +67,35 @@ class WorkloadLab:
         key = (wl.name, version, nprocs)
         got = self._runs.get(key)
         if got is None:
-            got = self._runs[key] = wl.run_version(
-                self.pipeline(wl), version, nprocs
-            )
+            pipe = self.pipeline(wl)
+            plan = resolve_plan(pipe, wl, version, nprocs)
+            got = self._runs[key] = pipe.execute(nprocs, plan, version)
         return got
+
+    def prefetch(self, points: Sequence[Point]) -> None:
+        """Interpret not-yet-cached grid points, in parallel when the
+        machine has spare cores.
+
+        Workers ship back only the :class:`RunResult`; each
+        ``VersionRun`` is rebuilt here from the lab's own pipelines, so
+        the merged state is identical to a serial run.  Any point the
+        pool failed to produce is simply interpreted serially on first
+        :meth:`run`.
+        """
+        todo: list[Point] = []
+        for p in dict.fromkeys(points):  # dedup, keep grid order
+            if p not in self._runs:
+                todo.append(p)
+        if len(todo) <= 1:
+            return
+        produced = parallel.run_points(todo, self.block_size, self.jobs)
+        for (name, version, nprocs), run in produced.items():
+            wl = by_name(name)
+            pipe = self.pipeline(wl)
+            plan = resolve_plan(pipe, wl, version, nprocs)
+            self._runs[(name, version, nprocs)] = pipe.execute(
+                nprocs, plan, version, run=run
+            )
 
 
 # --------------------------------------------------------------------------
@@ -116,6 +151,13 @@ def figure3(
     compiler-transformed versions.  Each program runs on 12 processors
     (Topopt on 9), as in the paper."""
     lab = lab or WorkloadLab()
+    lab.prefetch(
+        [
+            (wl.name, v, wl.fig3_procs)
+            for wl in workloads
+            for v in ("N", "C")
+        ]
+    )
     result = Figure3Result()
     for wl in workloads:
         nprocs = wl.fig3_procs
@@ -174,6 +216,17 @@ def table2(
     reduction (transformations interact only weakly, so this matches the
     paper's accounting)."""
     lab = lab or WorkloadLab()
+    points: list[Point] = []
+    for wl in workloads:
+        nprocs = wl.fig3_procs
+        plan = lab.pipeline(wl).compiler_plan(nprocs)
+        points += [(wl.name, "N", nprocs), (wl.name, "C", nprocs)]
+        points += [
+            (wl.name, f"C[{kind}]", nprocs)
+            for kind in sorted(ALL_KINDS)
+            if not plan.restricted_to({kind}).is_empty
+        ]
+    lab.prefetch(points)
     result = Table2Result()
     for wl in workloads:
         nprocs = wl.fig3_procs
@@ -194,7 +247,7 @@ def table2(
             sub = plan.restricted_to({kind})
             if sub.is_empty:
                 continue
-            vr = pipe.run_with_plan(nprocs, sub, f"C[{kind}]")
+            vr = lab.run(wl, f"C[{kind}]", nprocs)
             fs_k = _fs_misses(vr, block_sizes)
             solo_red[kind] = _mean(
                 [
@@ -230,6 +283,22 @@ def _mean(xs: Sequence[float]) -> float:
 FIGURE4_PROGRAMS = ("Raytrace", "Fmm", "Pverify")
 
 
+def sweep_points(
+    workloads: Sequence[Workload], proc_counts: Sequence[int]
+) -> list[Point]:
+    """The (workload, version, nprocs) grid of a speedup sweep.
+
+    The N curve always runs (it is the normalization baseline), plus
+    every version the paper reports for the program."""
+    return [
+        (wl.name, v, P)
+        for wl in workloads
+        for v in ("N", "C", "P")
+        if v == "N" or v in wl.versions
+        for P in proc_counts
+    ]
+
+
 @dataclass(slots=True)
 class ScalabilityResult:
     program: str
@@ -248,6 +317,7 @@ def scalability(
     layout — the paper's normalization."""
     lab = lab or WorkloadLab()
     cfg = cfg or KSR2Config(cpi=wl.cpi)
+    lab.prefetch(sweep_points([wl], proc_counts))
     result = ScalabilityResult(program=wl.name)
     base_curve, base = build_curve(
         "N",
@@ -277,12 +347,10 @@ def figure4(
     proc_counts: Sequence[int] = DEFAULT_SWEEP,
     lab: Optional[WorkloadLab] = None,
 ) -> list[ScalabilityResult]:
-    from repro.workloads.registry import by_name
-
     lab = lab or WorkloadLab()
-    return [
-        scalability(by_name(p), proc_counts, lab) for p in programs
-    ]
+    workloads = [by_name(p) for p in programs]
+    lab.prefetch(sweep_points(workloads, proc_counts))
+    return [scalability(wl, proc_counts, lab) for wl in workloads]
 
 
 @dataclass(slots=True)
@@ -299,6 +367,7 @@ def table3(
     lab: Optional[WorkloadLab] = None,
 ) -> list[Table3Row]:
     lab = lab or WorkloadLab()
+    lab.prefetch(sweep_points(workloads, proc_counts))
     rows: list[Table3Row] = []
     for wl in workloads:
         sc = scalability(wl, proc_counts, lab)
@@ -337,6 +406,7 @@ def improvements(
 
     lab = lab or WorkloadLab()
     workloads = workloads or SIMULATION_WORKLOADS
+    lab.prefetch(sweep_points(workloads, proc_counts))
     rows: list[ImprovementRow] = []
     for wl in workloads:
         sc = scalability(wl, proc_counts, lab)
@@ -375,6 +445,13 @@ def headline(
     lab: Optional[WorkloadLab] = None,
 ) -> HeadlineStats:
     lab = lab or WorkloadLab()
+    lab.prefetch(
+        [
+            (wl.name, v, wl.fig3_procs)
+            for wl in workloads
+            for v in ("N", "C")
+        ]
+    )
     fs_n = other_n = fs_c = other_c = 0
     tot_n64 = tot_c64 = 0
     for wl in workloads:

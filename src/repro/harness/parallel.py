@@ -1,0 +1,140 @@
+"""Parallel experiment fan-out.
+
+The experiment grid — every ``(workload, version, nprocs)`` point a
+table or figure needs — is embarrassingly parallel: each point is one
+deterministic interpreter execution.  This module fans the grid out
+over a :class:`concurrent.futures.ProcessPoolExecutor` and merges the
+results *deterministically*: points are submitted and collected in grid
+order, so the lab's caches end up byte-identical to a serial run no
+matter how the workers were scheduled.
+
+Workers return only the picklable :class:`~repro.runtime.trace.RunResult`
+payload (the compiled program holds ``id()``-keyed symbol tables and
+must never cross a process boundary); the parent re-derives the
+compiled program, plan and layout from its own pipeline cache — cheap
+next to interpretation — and attaches the worker's run.
+
+``REPRO_JOBS`` selects the worker count (default: the CPU count);
+``REPRO_JOBS=1`` forces the serial path.
+"""
+
+from __future__ import annotations
+
+import os
+from concurrent.futures import ProcessPoolExecutor
+from typing import TYPE_CHECKING, Optional, Sequence
+
+from repro import perf
+from repro.transform import TransformPlan
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.harness.pipeline import Pipeline
+    from repro.runtime.trace import RunResult
+    from repro.workloads.base import Workload
+
+JOBS_ENV = "REPRO_JOBS"
+
+#: A grid point: (workload name, version label, process count).
+Point = tuple[str, str, int]
+
+
+def default_jobs() -> int:
+    """Worker count from ``REPRO_JOBS`` (default: CPU count)."""
+    raw = os.environ.get(JOBS_ENV, "").strip()
+    if raw:
+        try:
+            return max(int(raw), 1)
+        except ValueError:
+            pass
+    return os.cpu_count() or 1
+
+
+def resolve_plan(
+    pipe: "Pipeline", wl: "Workload", version: str, nprocs: int
+) -> Optional[TransformPlan]:
+    """The transform plan a version label denotes.
+
+    ``N``/``C``/``P`` follow the paper's methodology; ``C[<kind>]`` is
+    the Table 2 attribution label — the compiler plan restricted to one
+    transformation kind.
+    """
+    if version == "N":
+        return None
+    if version == "C":
+        return pipe.compiler_plan(nprocs)
+    if version == "P":
+        if wl.programmer_plan is None:
+            raise ValueError(f"{wl.name} has no programmer version")
+        return wl.programmer_plan(pipe.analysis(nprocs))
+    if version.startswith("C[") and version.endswith("]"):
+        return pipe.compiler_plan(nprocs).restricted_to({version[2:-1]})
+    raise ValueError(f"unknown version {version!r}")
+
+
+# -- worker side --------------------------------------------------------------
+
+#: Per-worker-process pipeline cache: (workload name, block size) -> Pipeline.
+_worker_pipes: dict = {}
+
+
+def _run_point(
+    name: str, version: str, nprocs: int, block_size: int
+) -> tuple["RunResult", dict[str, float]]:
+    """Interpret one grid point in a worker process.
+
+    Returns the run plus the worker's perf-counter snapshot so the
+    parent can fold stage timings into its own counters.
+    """
+    from repro.harness.pipeline import Pipeline
+    from repro.workloads.registry import by_name
+
+    perf.reset()
+    wl = by_name(name)
+    pipe = _worker_pipes.get((name, block_size))
+    if pipe is None:
+        pipe = _worker_pipes[(name, block_size)] = Pipeline(
+            wl.source, block_size=block_size
+        )
+    plan = resolve_plan(pipe, wl, version, nprocs)
+    vr = pipe.execute(nprocs, plan, version)
+    return vr.run, perf.snapshot()
+
+
+# -- parent side --------------------------------------------------------------
+
+
+def run_points(
+    points: Sequence[Point],
+    block_size: int,
+    jobs: Optional[int] = None,
+) -> dict[Point, "RunResult"]:
+    """Interpret ``points`` with up to ``jobs`` worker processes.
+
+    Returns runs keyed by point, populated in grid order (deterministic
+    merge).  Falls back to an empty mapping when parallelism cannot
+    help (single worker, single point, or a broken pool) — callers then
+    take the ordinary serial path.
+    """
+    jobs = default_jobs() if jobs is None else jobs
+    jobs = min(jobs, len(points))
+    if jobs <= 1 or len(points) <= 1:
+        return {}
+    out: dict[Point, "RunResult"] = {}
+    try:
+        with ProcessPoolExecutor(max_workers=jobs) as pool:
+            futures = [
+                (p, pool.submit(_run_point, p[0], p[1], p[2], block_size))
+                for p in points
+            ]
+            # Grid order, not completion order: deterministic merging.
+            for point, fut in futures:
+                run, counters = fut.result()
+                out[point] = run
+                perf.merge(
+                    {f"worker.{k}": v for k, v in counters.items()}
+                )
+    except (OSError, RuntimeError):  # broken pool, fork limits, ...
+        perf.add("parallel.pool_failed")
+        return out
+    perf.add("parallel.points", len(out))
+    return out

@@ -10,20 +10,27 @@ Program versions follow the paper's methodology (section 4):
   programmer efforts — including what the programmers *missed* (unpadded
   locks, skipped group&transpose chances, an over-eager pad), which is
   what the compiler-vs-programmer comparison measures.
+
+Execution goes through the persistent trace cache
+(:mod:`repro.runtime.trace_cache`): a run is keyed by its full input
+hash, so a cache hit skips interpretation — the dominant cost — and
+repeat experiment suites replay frozen traces only.
 """
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass
-from functools import lru_cache
 from typing import Optional
 
+from repro import perf
 from repro.analysis import ProgramAnalysis, analyze_program
 from repro.lang import CheckedProgram, compile_source
 from repro.layout import DataLayout
 from repro.layout.regions import RegionMap, build_region_map
 from repro.machine import KSR2Config, TimingResult, time_run
 from repro.runtime import RunResult, run_program
+from repro.runtime import trace_cache
 from repro.sim import SimResult, simulate_run
 from repro.transform import TransformPlan, decide_transformations
 
@@ -38,6 +45,10 @@ class VersionRun:
     plan: Optional[TransformPlan]
     layout: DataLayout
     run: RunResult
+    #: wall-clock seconds spent interpreting (0.0 on a cache hit)
+    interp_seconds: float = 0.0
+    #: True when the run was replayed from the persistent trace cache
+    from_cache: bool = False
 
     def simulate(self, block_size: int, **kw) -> SimResult:
         return simulate_run(self.run, block_size, **kw)
@@ -53,7 +64,9 @@ class Pipeline:
     """Compiles a source once and executes versions of it on demand.
 
     Analysis results and transformation plans are cached per process
-    count; runs are cached per (version label, plan identity, nprocs).
+    count; runs are cached per (version label, plan identity, nprocs)
+    by :class:`~repro.harness.experiments.WorkloadLab`, and persistently
+    by the trace cache.
     """
 
     def __init__(self, source: str, *, block_size: int = 128,
@@ -84,18 +97,46 @@ class Pipeline:
 
     # -- execution ----------------------------------------------------------------
 
+    def _run_key(self, plan: Optional[TransformPlan], nprocs: int) -> str:
+        plan_desc = "natural" if plan is None else plan.describe()
+        return trace_cache.run_key(
+            self.source, plan_desc, nprocs, self.block_size,
+            quantum=4, max_steps=self.max_steps,
+        )
+
     def execute(
         self,
         nprocs: int,
         plan: Optional[TransformPlan] = None,
         version: str = "N",
+        run: Optional[RunResult] = None,
     ) -> VersionRun:
+        """Execute (or replay) one version at one process count.
+
+        ``run`` lets callers attach a precomputed
+        :class:`~repro.runtime.trace.RunResult` — the parallel
+        experiment lab interprets in worker processes and rebuilds the
+        ``VersionRun`` here without re-interpreting.
+        """
         layout = DataLayout(
             self.checked, plan, block_size=self.block_size, nprocs=nprocs
         )
-        run = run_program(
-            self.checked, layout, nprocs, max_steps=self.max_steps
-        )
+        interp_seconds = 0.0
+        from_cache = False
+        if run is None:
+            key = self._run_key(plan, nprocs)
+            run = trace_cache.load_run(key)
+            if run is None:
+                t0 = time.perf_counter()
+                run = run_program(
+                    self.checked, layout, nprocs, max_steps=self.max_steps
+                )
+                interp_seconds = time.perf_counter() - t0
+                perf.add("interp.seconds", interp_seconds)
+                perf.add("interp.runs")
+                trace_cache.store_run(key, run)
+            else:
+                from_cache = True
         return VersionRun(
             version=version,
             nprocs=nprocs,
@@ -103,6 +144,8 @@ class Pipeline:
             plan=plan,
             layout=layout,
             run=run,
+            interp_seconds=interp_seconds,
+            from_cache=from_cache,
         )
 
     def run_unoptimized(self, nprocs: int) -> VersionRun:

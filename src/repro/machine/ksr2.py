@@ -30,7 +30,8 @@ from dataclasses import dataclass
 
 from repro.runtime.trace import RunResult
 from repro.sim.cache import CacheConfig
-from repro.sim.coherence import SimResult, simulate_trace
+from repro.sim.coherence import SimResult
+from repro.sim.simcache import cached_simulate
 
 
 @dataclass(frozen=True, slots=True)
@@ -169,7 +170,10 @@ def time_run(run: RunResult, cfg: KSR2Config | None = None) -> TimingResult:
     config = CacheConfig(
         size=cfg.cache_size, block_size=cfg.block_size, assoc=cfg.assoc
     )
-    sim = simulate_trace(
+    # Memoized per trace fingerprint: Figure 4, Table 3 and the
+    # section-5 improvement sweep time the same runs — each is
+    # simulated at the KSR2 geometry exactly once.
+    sim = cached_simulate(
         run.trace, run.nprocs, config,
         extra_refs=sum(run.private_refs.values()),
     )

@@ -6,43 +6,70 @@ global interleaved order, as ``(proc, addr, size, is_write)``.  Private
 (stack) references are counted but not traced — with 32 KB caches and
 the restricted model's tiny frames they are effectively always hits, and
 the cache simulator accounts for them in the miss-rate denominator.
+
+Storage is columnar end to end: :class:`TraceBuffer` appends into
+compact ``array`` columns (machine ints, not ``PyObject`` lists), and
+:meth:`TraceBuffer.freeze` turns them into the immutable numpy-backed
+:class:`Trace` with a single buffer copy per column.  The frozen arrays
+feed the vectorized event precomputation in :mod:`repro.sim.events`
+without any per-reference Python arithmetic.
 """
 
 from __future__ import annotations
 
+import hashlib
+from array import array
 from dataclasses import dataclass, field
 
 import numpy as np
 
+#: Chunk length used by :meth:`Trace.__iter__` — bounds the transient
+#: Python-object materialization to ~4×CHUNK objects instead of 4×len.
+_ITER_CHUNK = 65_536
+
 
 class TraceBuffer:
-    """Append-only buffer of shared memory references."""
+    """Append-only columnar buffer of shared memory references."""
+
+    __slots__ = ("procs", "addrs", "sizes", "writes")
 
     def __init__(self):
-        self.procs: list[int] = []
-        self.addrs: list[int] = []
-        self.sizes: list[int] = []
-        self.writes: list[bool] = []
+        self.procs = array("i")
+        self.addrs = array("q")
+        self.sizes = array("i")
+        self.writes = array("b")
 
     def append(self, proc: int, addr: int, size: int, is_write: bool) -> None:
         self.procs.append(proc)
         self.addrs.append(addr)
         self.sizes.append(size)
-        self.writes.append(is_write)
+        self.writes.append(1 if is_write else 0)
 
     def __len__(self) -> int:
         return len(self.addrs)
 
+    @property
+    def nbytes(self) -> int:
+        """Bytes held by the four columns."""
+        return sum(
+            a.buffer_info()[1] * a.itemsize
+            for a in (self.procs, self.addrs, self.sizes, self.writes)
+        )
+
     def freeze(self) -> "Trace":
+        # np.frombuffer would alias the (still growable) array buffers;
+        # one explicit copy per column detaches the frozen trace.
         return Trace(
-            proc=np.asarray(self.procs, dtype=np.int32),
-            addr=np.asarray(self.addrs, dtype=np.int64),
-            size=np.asarray(self.sizes, dtype=np.int32),
-            is_write=np.asarray(self.writes, dtype=bool),
+            proc=np.frombuffer(self.procs.tobytes(), dtype=np.int32),
+            addr=np.frombuffer(self.addrs.tobytes(), dtype=np.int64),
+            size=np.frombuffer(self.sizes.tobytes(), dtype=np.int32),
+            is_write=np.frombuffer(self.writes.tobytes(), dtype=np.int8).view(
+                np.bool_
+            ),
         )
 
 
-@dataclass(slots=True)
+@dataclass(slots=True, eq=False)
 class Trace:
     """An immutable trace as parallel numpy arrays."""
 
@@ -50,17 +77,51 @@ class Trace:
     addr: np.ndarray
     size: np.ndarray
     is_write: np.ndarray
+    #: lazily computed content hash (see :meth:`fingerprint`)
+    _fingerprint: str | None = field(default=None, repr=False, compare=False)
 
     def __len__(self) -> int:
         return len(self.addr)
 
     def __iter__(self):
-        return zip(
-            self.proc.tolist(),
-            self.addr.tolist(),
-            self.size.tolist(),
-            self.is_write.tolist(),
+        # Chunked: near-``tolist`` speed without materializing four
+        # full-length Python lists per iteration.
+        n = len(self.addr)
+        for start in range(0, n, _ITER_CHUNK):
+            stop = min(start + _ITER_CHUNK, n)
+            yield from zip(
+                self.proc[start:stop].tolist(),
+                self.addr[start:stop].tolist(),
+                self.size[start:stop].tolist(),
+                self.is_write[start:stop].tolist(),
+            )
+
+    @property
+    def nbytes(self) -> int:
+        """Bytes held by the four columns (memory reporting)."""
+        return (
+            self.proc.nbytes
+            + self.addr.nbytes
+            + self.size.nbytes
+            + self.is_write.nbytes
         )
+
+    @property
+    def fingerprint(self) -> str:
+        """Stable content hash of the trace.
+
+        Used as the memoization key for simulation results and event
+        streams: two traces with the same fingerprint produce identical
+        simulations at every cache geometry.
+        """
+        fp = self._fingerprint
+        if fp is None:
+            h = hashlib.sha1()
+            h.update(str(len(self.addr)).encode())
+            for arr in (self.proc, self.addr, self.size, self.is_write):
+                h.update(np.ascontiguousarray(arr).tobytes())
+            fp = self._fingerprint = h.hexdigest()
+        return fp
 
 
 @dataclass(slots=True)

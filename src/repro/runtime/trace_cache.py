@@ -1,0 +1,190 @@
+"""Persistent trace cache: frozen runs stored as ``.npz`` files.
+
+Interpreting a workload is by far the most expensive stage of the
+pipeline (the trace is replayed cheaply, many times, at many cache
+geometries).  Because the interpreter is fully deterministic, a run is
+a pure function of ``(source, transform plan, nprocs, block size,
+scheduler quantum, step limit)`` — so the complete
+:class:`~repro.runtime.trace.RunResult` can be persisted keyed by a
+hash of those inputs, and *repeat benchmark runs skip interpretation
+entirely*.
+
+Layout: one ``<key>.npz`` per run under the cache directory, holding
+the four trace columns plus a JSON blob with the scalar counters.
+Writes go through a temp file + :func:`os.replace`, so concurrent
+writers (the parallel experiment lab) are safe: last writer wins with
+an identical payload.
+
+Environment knobs
+-----------------
+
+``REPRO_TRACE_CACHE``
+    Cache directory.  ``0`` / ``off`` / ``no`` disables persistence
+    entirely.  Default: ``~/.cache/repro/traces``.
+``REPRO_TRACE_CACHE_MIN``
+    Minimum shared-reference count for a run to be persisted
+    (default 4096) — keeps unit-test-sized runs from littering the
+    cache.
+
+Invalidation: keys include :data:`SCHEMA` — bump it whenever the
+interpreter's observable behaviour (addresses, scheduling, counters)
+changes.  Stale entries are never read because their keys are never
+regenerated; ``prune()`` deletes everything for a fresh start.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import tempfile
+from pathlib import Path
+
+import numpy as np
+
+from repro import perf
+from repro.runtime.trace import RunResult, Trace
+
+#: Bump when interpreter/layout semantics change observable runs.
+SCHEMA = 1
+
+_ENV_DIR = "REPRO_TRACE_CACHE"
+_ENV_MIN = "REPRO_TRACE_CACHE_MIN"
+_DISABLED = {"0", "off", "no", "none", "false"}
+
+
+def cache_dir() -> Path | None:
+    """The active cache directory, or None when persistence is off."""
+    raw = os.environ.get(_ENV_DIR)
+    if raw is not None and raw.strip().lower() in _DISABLED:
+        return None
+    if raw:
+        return Path(raw)
+    return Path.home() / ".cache" / "repro" / "traces"
+
+
+def min_refs() -> int:
+    try:
+        return int(os.environ.get(_ENV_MIN, "4096"))
+    except ValueError:
+        return 4096
+
+
+def run_key(
+    source: str,
+    plan_desc: str,
+    nprocs: int,
+    block_size: int,
+    quantum: int,
+    max_steps: int,
+) -> str:
+    """Deterministic content key for one interpreted run."""
+    h = hashlib.sha256()
+    for part in (
+        f"schema={SCHEMA}", source, plan_desc,
+        f"nprocs={nprocs}", f"block={block_size}",
+        f"quantum={quantum}", f"max_steps={max_steps}",
+    ):
+        h.update(part.encode())
+        h.update(b"\x00")
+    return h.hexdigest()
+
+
+def _path_for(key: str) -> Path | None:
+    root = cache_dir()
+    return None if root is None else root / f"{key}.npz"
+
+
+def load_run(key: str) -> RunResult | None:
+    """Fetch a persisted run, or None on miss/corruption/disabled."""
+    path = _path_for(key)
+    if path is None or not path.exists():
+        perf.add("trace_cache.miss")
+        return None
+    try:
+        with np.load(path, allow_pickle=False) as z:
+            meta = json.loads(bytes(z["meta"]).decode())
+            trace = Trace(
+                proc=z["proc"], addr=z["addr"],
+                size=z["size"], is_write=z["is_write"].astype(bool),
+            )
+        run = RunResult(
+            trace=trace,
+            nprocs=int(meta["nprocs"]),
+            work={int(k): v for k, v in meta["work"].items()},
+            private_refs={int(k): v for k, v in meta["private_refs"].items()},
+            shared_refs={int(k): v for k, v in meta["shared_refs"].items()},
+            output=list(meta["output"]),
+            exit_value=meta["exit_value"],
+            heap_segments=[tuple(seg) for seg in meta["heap_segments"]],
+        )
+    except Exception:
+        # Corrupt or incompatible entry: drop it and re-interpret.
+        perf.add("trace_cache.corrupt")
+        try:
+            path.unlink()
+        except OSError:
+            pass
+        return None
+    perf.add("trace_cache.hit")
+    return run
+
+
+def store_run(key: str, run: RunResult) -> bool:
+    """Persist ``run`` under ``key``; returns True when written."""
+    path = _path_for(key)
+    if path is None or len(run.trace) < min_refs():
+        return False
+    meta = json.dumps(
+        {
+            "nprocs": run.nprocs,
+            "work": run.work,
+            "private_refs": run.private_refs,
+            "shared_refs": run.shared_refs,
+            "output": run.output,
+            "exit_value": run.exit_value,
+            "heap_segments": run.heap_segments,
+        }
+    ).encode()
+    try:
+        path.parent.mkdir(parents=True, exist_ok=True)
+        fd, tmp = tempfile.mkstemp(
+            dir=path.parent, prefix=".tmp-", suffix=".npz"
+        )
+        try:
+            with os.fdopen(fd, "wb") as fh:
+                np.savez(
+                    fh,
+                    proc=run.trace.proc,
+                    addr=run.trace.addr,
+                    size=run.trace.size,
+                    is_write=run.trace.is_write,
+                    meta=np.frombuffer(meta, dtype=np.uint8),
+                )
+            os.replace(tmp, path)
+        except BaseException:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            raise
+    except OSError:
+        perf.add("trace_cache.store_failed")
+        return False
+    perf.add("trace_cache.store")
+    return True
+
+
+def prune() -> int:
+    """Delete every cached run; returns the number removed."""
+    root = cache_dir()
+    if root is None or not root.exists():
+        return 0
+    n = 0
+    for path in root.glob("*.npz"):
+        try:
+            path.unlink()
+            n += 1
+        except OSError:
+            pass
+    return n

@@ -13,6 +13,9 @@ from repro.sim.coherence import (
     SimResult,
     simulate_trace,
 )
+from repro.sim.engine import active_engine, simulate, simulate_trace_fast
+from repro.sim.events import EventStream, build_events
+from repro.sim.simcache import cached_events, cached_simulate
 from repro.sim.metrics import (
     BlockSizeSweep,
     StructureMisses,
@@ -36,6 +39,13 @@ __all__ = [
     "MissCounts",
     "SimResult",
     "simulate_trace",
+    "active_engine",
+    "simulate",
+    "simulate_trace_fast",
+    "EventStream",
+    "build_events",
+    "cached_events",
+    "cached_simulate",
     "BlockSizeSweep",
     "StructureMisses",
     "attribute_misses",

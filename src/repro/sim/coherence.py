@@ -20,11 +20,25 @@ Miss classes
 
 Word granularity for the write log is 4 bytes (the smallest scalar).
 Upgrades (S→M writes) invalidate remote copies but are not misses.
+
+The protocol core operates on pre-split ``(proc, block, word range)``
+events so the same state machine serves both the reference path
+(:func:`simulate_trace`, which splits each reference as it goes) and the
+vectorized fast path (:mod:`repro.sim.engine`, which consumes the
+precomputed streams of :mod:`repro.sim.events`).  An event may carry a
+``rep`` count: the reference counter and the logical clock advance by
+the full run length before the event is applied once, which keeps
+compacted simulations bit-identical to the reference (see
+``repro/sim/events.py`` for the argument).
 """
 
 from __future__ import annotations
 
+from collections.abc import Mapping
 from dataclasses import dataclass, field
+from typing import Iterator
+
+import numpy as np
 
 from repro.runtime.trace import Trace
 from repro.sim.cache import Cache, CacheConfig, INVALID, MODIFIED, SHARED
@@ -35,6 +49,12 @@ COLD = "cold"
 REPLACE = "replace"
 TRUE_SHARING = "true"
 FALSE_SHARING = "false"
+
+#: Column indices of the per-processor miss-count matrix.
+_COLD = 0
+_REPLACE = 1
+_TRUE = 2
+_FALSE = 3
 
 #: Loss causes recorded per (proc, block).
 _EVICT = 0
@@ -58,6 +78,40 @@ class MissCounts:
         self.true_sharing += other.true_sharing
         self.false_sharing += other.false_sharing
 
+    def as_tuple(self) -> tuple[int, int, int, int]:
+        return (self.cold, self.replace, self.true_sharing, self.false_sharing)
+
+
+class PerProcCounts(Mapping):
+    """Read-only mapping ``pid -> MissCounts`` over the simulator's
+    preallocated ``(nprocs, 4)`` count matrix.
+
+    The matrix row for pid ``p`` is ``p + 1`` (row 0 is the serial
+    parent, pid -1).  ``MissCounts`` values are materialized on access;
+    the matrix itself is the single source of truth.
+    """
+
+    __slots__ = ("_counts", "_pids")
+
+    def __init__(self, counts: np.ndarray, pids: tuple[int, ...]):
+        self._counts = counts
+        self._pids = pids
+
+    def __getitem__(self, pid: int) -> MissCounts:
+        if pid not in self._pids:
+            raise KeyError(pid)
+        row = self._counts[pid + 1]
+        return MissCounts(int(row[0]), int(row[1]), int(row[2]), int(row[3]))
+
+    def __iter__(self) -> Iterator[int]:
+        return iter(self._pids)
+
+    def __len__(self) -> int:
+        return len(self._pids)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"PerProcCounts({dict(self)!r})"
+
 
 @dataclass(slots=True)
 class SimResult:
@@ -70,13 +124,17 @@ class SimResult:
     invalidations: int
     writebacks: int
     upgrades: int
-    #: per-processor miss counts
-    per_proc: dict[int, MissCounts]
+    #: per-processor miss counts (a read-only mapping view)
+    per_proc: Mapping
     #: false-sharing misses per block (for data-structure attribution)
     fs_by_block: dict[int, int] = field(default_factory=dict)
     miss_by_block: dict[int, int] = field(default_factory=dict)
     #: extra references counted toward the denominator but not simulated
     extra_refs: int = 0
+    #: wall-clock seconds spent in the simulation (instrumentation)
+    sim_seconds: float = 0.0
+    #: which path produced this result ("reference" | "fast")
+    engine: str = "reference"
 
     @property
     def total_misses(self) -> int:
@@ -133,17 +191,38 @@ class CoherenceSim:
         self.invalidations = 0
         self.writebacks = 0
         self.upgrades = 0
-        self.misses = MissCounts()
-        self.per_proc: dict[int, MissCounts] = {}
+        #: preallocated per-processor miss counts; row = pid + 1 (row 0
+        #: is the serial parent), columns = cold/replace/true/false
+        self._proc_counts = np.zeros((nprocs + 1, 4), dtype=np.int64)
+        self._pids_seen: list[int] = []
         self.fs_by_block: dict[int, int] = {}
         self.miss_by_block: dict[int, int] = {}
         self.refs = 0
+
+    # -- accounting views ---------------------------------------------------------
+
+    @property
+    def misses(self) -> MissCounts:
+        """Aggregate miss counts across processors."""
+        total = self._proc_counts.sum(axis=0)
+        return MissCounts(
+            int(total[_COLD]), int(total[_REPLACE]),
+            int(total[_TRUE]), int(total[_FALSE]),
+        )
+
+    @property
+    def per_proc(self) -> PerProcCounts:
+        return PerProcCounts(self._proc_counts, tuple(self._pids_seen))
 
     def _cache(self, proc: int) -> Cache:
         c = self.caches.get(proc)
         if c is None:
             c = self.caches[proc] = Cache(self.config)
-            self.per_proc[proc] = MissCounts()
+            self._pids_seen.append(proc)
+            if proc + 1 >= len(self._proc_counts):
+                grown = np.zeros((proc + 2, 4), dtype=np.int64)
+                grown[: len(self._proc_counts)] = self._proc_counts
+                self._proc_counts = grown
         return c
 
     # -- core access ------------------------------------------------------------
@@ -151,104 +230,95 @@ class CoherenceSim:
     def access(self, proc: int, addr: int, size: int, is_write: bool) -> None:
         """Simulate one reference (split across blocks if it straddles)."""
         bs = self.config.block_size
+        span = max(size, 1)
         first = addr // bs
-        last = (addr + max(size, 1) - 1) // bs
+        last = (addr + span - 1) // bs
         for block in range(first, last + 1):
             lo = max(addr, block * bs)
-            hi = min(addr + max(size, 1), (block + 1) * bs)
-            self._access_block(proc, block, lo, hi, is_write)
+            hi = min(addr + span, (block + 1) * bs)
+            self._access_block(
+                proc, block, lo // WORD, (hi + WORD - 1) // WORD, is_write
+            )
 
     def _access_block(
-        self, proc: int, block: int, lo: int, hi: int, is_write: bool
+        self, proc: int, block: int, w_lo: int, w_hi: int, is_write: bool,
+        rep: int = 1,
     ) -> None:
-        self.refs += 1
-        self.time += 1
+        """Apply one pre-split event; ``rep`` advances the reference
+        counter and clock by a full compacted run first."""
+        self.refs += rep
+        self.time += rep
         cache = self._cache(proc)
         state = cache.state(block)
         if state == INVALID:
-            self._miss(proc, cache, block, lo, hi, is_write)
-        elif self.word_invalidate and self._touches_stale(proc, block, lo, hi):
+            self._miss(proc, cache, block, w_lo, w_hi, is_write)
+        elif self.word_invalidate and self._touches_stale(proc, block, w_lo, w_hi):
             # word-granularity mode: the block is resident but a word
             # this access needs was remotely overwritten — genuine
             # communication, never false sharing
-            self.misses.true_sharing += 1
-            self.per_proc[proc].true_sharing += 1
+            self._proc_counts[proc + 1, _TRUE] += 1
             self.miss_by_block[block] = self.miss_by_block.get(block, 0) + 1
             self.stale_words.pop((proc, block), None)  # refetch refreshes
             cache.touch(block)
             if is_write:
-                self._invalidate_others(proc, block, lo, hi)
+                self._invalidate_others(proc, block, w_lo, w_hi)
                 cache.set_state(block, MODIFIED)
         else:
             cache.touch(block)
             if is_write and state == SHARED:
-                self._invalidate_others(proc, block, lo, hi)
+                self._invalidate_others(proc, block, w_lo, w_hi)
                 cache.set_state(block, MODIFIED)
                 self.upgrades += 1
             elif is_write and self.word_invalidate:
                 # word mode: several caches may hold dirty copies with
                 # disjoint dirty words; every write pushes word
                 # invalidations to the other holders
-                self._invalidate_others(proc, block, lo, hi)
+                self._invalidate_others(proc, block, w_lo, w_hi)
         if is_write:
-            self._log_write(proc, block, lo, hi)
+            self._log_write(proc, block, w_lo, w_hi)
 
-    def _touches_stale(self, proc: int, block: int, lo: int, hi: int) -> bool:
+    def _touches_stale(self, proc: int, block: int, w_lo: int, w_hi: int) -> bool:
         stale = self.stale_words.get((proc, block))
         if not stale:
             return False
-        return any(
-            w in stale for w in range(lo // WORD, (hi + WORD - 1) // WORD)
-        )
+        return any(w in stale for w in range(w_lo, w_hi))
 
-    def _log_write(self, proc: int, block: int, lo: int, hi: int) -> None:
+    def _log_write(self, proc: int, block: int, w_lo: int, w_hi: int) -> None:
         log = self.write_log.setdefault(block, {})
-        t = self.time
-        for w in range(lo // WORD, (hi + WORD - 1) // WORD):
-            log[w] = (proc, t)
+        entry = (proc, self.time)
+        for w in range(w_lo, w_hi):
+            log[w] = entry
 
-    def _classify(
-        self, proc: int, block: int, lo: int, hi: int
-    ) -> str:
+    def _classify(self, proc: int, block: int, w_lo: int, w_hi: int) -> int:
         key = (proc, block)
         if key not in self.ever:
-            return COLD
+            return _COLD
         cause, t_lost = self.lost.get(key, (_EVICT, 0))
         if cause == _EVICT:
-            return REPLACE
+            return _REPLACE
         log = self.write_log.get(block)
         if log:
-            for w in range(lo // WORD, (hi + WORD - 1) // WORD):
+            for w in range(w_lo, w_hi):
                 entry = log.get(w)
                 # >= : the write that caused the invalidation is logged at
                 # exactly t_lost and is true communication.
                 if entry is not None and entry[1] >= t_lost and entry[0] != proc:
-                    return TRUE_SHARING
-        return FALSE_SHARING
+                    return _TRUE
+        return _FALSE
 
     def _miss(
-        self, proc: int, cache: Cache, block: int, lo: int, hi: int, is_write: bool
+        self, proc: int, cache: Cache, block: int,
+        w_lo: int, w_hi: int, is_write: bool,
     ) -> None:
-        kind = self._classify(proc, block, lo, hi)
-        counts = self.per_proc[proc]
-        if kind == COLD:
-            self.misses.cold += 1
-            counts.cold += 1
-        elif kind == REPLACE:
-            self.misses.replace += 1
-            counts.replace += 1
-        elif kind == TRUE_SHARING:
-            self.misses.true_sharing += 1
-            counts.true_sharing += 1
-        else:
-            self.misses.false_sharing += 1
-            counts.false_sharing += 1
+        kind = self._classify(proc, block, w_lo, w_hi)
+        self._proc_counts[proc + 1, kind] += 1
+        if kind == _FALSE:
             self.fs_by_block[block] = self.fs_by_block.get(block, 0) + 1
         self.miss_by_block[block] = self.miss_by_block.get(block, 0) + 1
         self.ever.add((proc, block))
         self.stale_words.pop((proc, block), None)  # a fill refreshes all words
         if is_write:
-            self._invalidate_others(proc, block, lo, hi)
+            self._invalidate_others(proc, block, w_lo, w_hi)
             new_state = MODIFIED
         else:
             # demote a remote MODIFIED copy to SHARED (writeback)
@@ -270,13 +340,14 @@ class CoherenceSim:
                 holders.discard(proc)
 
     def _invalidate_others(
-        self, proc: int, block: int, lo: int | None = None, hi: int | None = None
+        self, proc: int, block: int,
+        w_lo: int | None = None, w_hi: int | None = None,
     ) -> None:
         holders = self.sharers.get(block)
         if not holders:
             return
-        if self.word_invalidate and lo is not None and hi is not None:
-            words = set(range(lo // WORD, (hi + WORD - 1) // WORD))
+        if self.word_invalidate and w_lo is not None and w_hi is not None:
+            words = set(range(w_lo, w_hi))
             for other in list(holders):
                 if other == proc:
                     continue
@@ -305,7 +376,8 @@ class CoherenceSim:
 
     # -- driver -------------------------------------------------------------------
 
-    def result(self, extra_refs: int = 0) -> SimResult:
+    def result(self, extra_refs: int = 0, *, sim_seconds: float = 0.0,
+               engine: str = "reference") -> SimResult:
         return SimResult(
             config=self.config,
             nprocs=self.nprocs,
@@ -318,6 +390,8 @@ class CoherenceSim:
             fs_by_block=self.fs_by_block,
             miss_by_block=self.miss_by_block,
             extra_refs=extra_refs,
+            sim_seconds=sim_seconds,
+            engine=engine,
         )
 
 
@@ -329,20 +403,26 @@ def simulate_trace(
     extra_refs: int = 0,
     word_invalidate: bool = False,
 ) -> SimResult:
-    """Run the coherence simulation over a frozen trace.
+    """Run the **reference** coherence simulation over a frozen trace,
+    one reference at a time.
 
     ``extra_refs`` adds untraced (always-hit private) references to the
     miss-rate denominator, matching how the paper's miss rates are
     normalized to all memory references.  ``word_invalidate`` switches
     to the Dubois et al. [DSR+93] per-word invalidation hardware.
+
+    The vectorized fast path lives in :func:`repro.sim.engine.simulate`;
+    this function remains the ground truth it is validated against.
     """
+    import time as _time
+
+    t0 = _time.perf_counter()
     sim = CoherenceSim(nprocs, config, word_invalidate=word_invalidate)
     access = sim.access
-    for proc, addr, size, is_write in zip(
-        trace.proc.tolist(),
-        trace.addr.tolist(),
-        trace.size.tolist(),
-        trace.is_write.tolist(),
-    ):
+    for proc, addr, size, is_write in trace:
         access(proc, addr, size, is_write)
-    return sim.result(extra_refs=extra_refs)
+    return sim.result(
+        extra_refs=extra_refs,
+        sim_seconds=_time.perf_counter() - t0,
+        engine="reference",
+    )

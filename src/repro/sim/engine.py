@@ -1,0 +1,131 @@
+"""Fast-path simulation engine.
+
+Drives the :class:`~repro.sim.coherence.CoherenceSim` protocol core with
+the pre-split, run-length-compacted event streams of
+:mod:`repro.sim.events` instead of re-deriving block splits and word
+indices per reference in Python.  Output is bit-identical to
+:func:`repro.sim.coherence.simulate_trace` (enforced by
+``tests/test_engine_equivalence.py`` and the hypothesis property suite).
+
+Engine selection
+----------------
+
+:func:`simulate` picks the path:
+
+* ``REPRO_SIM_ENGINE=fast`` (default) — vectorized precompute + compaction;
+* ``REPRO_SIM_ENGINE=reference`` — the original per-reference loop.
+
+Everything above this module (``simulate_run``, the KSR2 timing model,
+the experiment drivers) goes through :func:`repro.sim.simcache.cached_simulate`,
+which memoizes results per (trace fingerprint, geometry) on top of this.
+"""
+
+from __future__ import annotations
+
+import os
+import time as _time
+
+from repro import perf
+from repro.runtime.trace import Trace
+from repro.sim.cache import CacheConfig
+from repro.sim.coherence import CoherenceSim, SimResult
+from repro.sim.events import EventStream, build_events
+
+#: Environment knob naming the simulation engine to use.
+ENGINE_ENV = "REPRO_SIM_ENGINE"
+
+FAST = "fast"
+REFERENCE = "reference"
+
+
+def active_engine() -> str:
+    """The engine selected by ``REPRO_SIM_ENGINE`` (default: fast)."""
+    name = os.environ.get(ENGINE_ENV, FAST).strip().lower() or FAST
+    if name not in (FAST, REFERENCE):
+        raise ValueError(
+            f"{ENGINE_ENV} must be '{FAST}' or '{REFERENCE}', got {name!r}"
+        )
+    return name
+
+
+def simulate_events(
+    events: EventStream,
+    nprocs: int,
+    config: CacheConfig,
+    *,
+    word_invalidate: bool = False,
+    extra_refs: int = 0,
+) -> SimResult:
+    """Run the coherence protocol over a precomputed event stream."""
+    if word_invalidate and not events.word_granularity:
+        raise ValueError(
+            "word_invalidate simulation needs an event stream built with "
+            "word_granularity=True (write compaction is unsafe there)"
+        )
+    t0 = _time.perf_counter()
+    sim = CoherenceSim(nprocs, config, word_invalidate=word_invalidate)
+    step = sim._access_block
+    for ev in zip(
+        events.proc.tolist(),
+        events.block.tolist(),
+        events.w_lo.tolist(),
+        events.w_hi.tolist(),
+        events.is_write.tolist(),
+        events.repeat.tolist(),
+    ):
+        step(*ev)
+    return sim.result(
+        extra_refs=extra_refs,
+        sim_seconds=_time.perf_counter() - t0,
+        engine=FAST,
+    )
+
+
+def simulate_trace_fast(
+    trace: Trace,
+    nprocs: int,
+    config: CacheConfig,
+    *,
+    extra_refs: int = 0,
+    word_invalidate: bool = False,
+    events: EventStream | None = None,
+) -> SimResult:
+    """Fast-path equivalent of :func:`repro.sim.coherence.simulate_trace`.
+
+    ``events`` lets block-size sweeps reuse a precomputed stream (see
+    :mod:`repro.sim.simcache`); when omitted it is built here.
+    """
+    if events is None:
+        events = build_events(
+            trace, config.block_size, word_granularity=word_invalidate
+        )
+    return simulate_events(
+        events, nprocs, config,
+        word_invalidate=word_invalidate, extra_refs=extra_refs,
+    )
+
+
+def simulate(
+    trace: Trace,
+    nprocs: int,
+    config: CacheConfig,
+    *,
+    extra_refs: int = 0,
+    word_invalidate: bool = False,
+    engine: str | None = None,
+) -> SimResult:
+    """Simulate ``trace`` with the selected engine (uncached)."""
+    from repro.sim.coherence import simulate_trace
+
+    engine = engine or active_engine()
+    if engine == REFERENCE:
+        with perf.timer("sim.reference"):
+            return simulate_trace(
+                trace, nprocs, config,
+                extra_refs=extra_refs, word_invalidate=word_invalidate,
+            )
+    with perf.timer("sim.fast"):
+        return simulate_trace_fast(
+            trace, nprocs, config,
+            extra_refs=extra_refs, word_invalidate=word_invalidate,
+        )

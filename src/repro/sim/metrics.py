@@ -9,7 +9,8 @@ from dataclasses import dataclass, field
 from repro.layout.regions import RegionMap
 from repro.runtime.trace import RunResult
 from repro.sim.cache import CacheConfig
-from repro.sim.coherence import SimResult, simulate_trace
+from repro.sim.coherence import SimResult
+from repro.sim.simcache import cached_simulate
 
 
 @dataclass(slots=True)
@@ -58,14 +59,20 @@ def simulate_run(
     cache_size: int = 32 * 1024,
     assoc: int = 4,
     word_invalidate: bool = False,
+    engine: str | None = None,
 ) -> SimResult:
     """Simulate a run's trace at one block size, counting the run's
-    private references into the miss-rate denominator."""
+    private references into the miss-rate denominator.
+
+    Routed through the fast-path engine and the per-trace result memo
+    (:mod:`repro.sim.simcache`); set ``engine="reference"`` — or export
+    ``REPRO_SIM_ENGINE=reference`` — to force the original
+    one-reference-at-a-time simulator."""
     config = CacheConfig(size=cache_size, block_size=block_size, assoc=assoc)
     extra = sum(run.private_refs.values())
-    return simulate_trace(
+    return cached_simulate(
         run.trace, run.nprocs, config, extra_refs=extra,
-        word_invalidate=word_invalidate,
+        word_invalidate=word_invalidate, engine=engine,
     )
 
 

@@ -2,9 +2,26 @@
 
 from __future__ import annotations
 
+import os
+
 import pytest
 
 from repro.lang import compile_source
+
+
+@pytest.fixture(scope="session", autouse=True)
+def _isolated_trace_cache(tmp_path_factory):
+    """Point the persistent trace cache at a throwaway directory so the
+    suite neither reads stale entries nor litters the user's cache."""
+    old = os.environ.get("REPRO_TRACE_CACHE")
+    os.environ["REPRO_TRACE_CACHE"] = str(
+        tmp_path_factory.mktemp("trace-cache")
+    )
+    yield
+    if old is None:
+        os.environ.pop("REPRO_TRACE_CACHE", None)
+    else:
+        os.environ["REPRO_TRACE_CACHE"] = old
 
 #: The canonical counter kernel: textbook false sharing on `counter`,
 #: a shared total behind a lock, one barrier phase boundary.
@@ -125,6 +142,23 @@ int main()
     return 0;
 }
 """
+
+
+@pytest.fixture(scope="session")
+def workload_run():
+    """Interpret each workload once per session (natural layout, 4
+    procs) and share the run across the engine-equivalence tests."""
+    from repro.harness.pipeline import Pipeline
+
+    runs: dict[str, object] = {}
+
+    def get(wl, nprocs: int = 4):
+        key = (wl.name, nprocs)
+        if key not in runs:
+            runs[key] = Pipeline(wl.source).execute(nprocs).run
+        return runs[key]
+
+    return get
 
 
 @pytest.fixture(scope="session")
