@@ -30,7 +30,11 @@ from repro.analysis.sideeffects import (
     Target,
     analyze_side_effects,
 )
-from repro.analysis.report import analysis_report, validation_report
+from repro.analysis.report import (
+    analysis_report,
+    rsd_prediction_diff,
+    validation_report,
+)
 from repro.analysis.summary import (
     PhasePattern,
     ProgramAnalysis,
@@ -65,4 +69,7 @@ __all__ = [
     "TargetPattern",
     "aggregate_patterns",
     "analyze_program",
+    "analysis_report",
+    "rsd_prediction_diff",
+    "validation_report",
 ]

@@ -109,3 +109,29 @@ def validation_report(
         "false-sharing misses"
     )
     return "\n".join(lines)
+
+
+def rsd_prediction_diff(
+    pa: ProgramAnalysis,
+    plan: TransformPlan,
+    attribution,
+) -> str:
+    """Diff the Stage-3 RSD predictions against an observed attribution.
+
+    ``attribution`` is a :class:`repro.obs.attribution.Attribution` —
+    the simulator-measured per-structure false sharing with processor
+    pairs.  The body is :func:`validation_report` (covered vs RESIDUAL
+    structures); appended is the measured ping-pong pair for each hot
+    structure, the dynamic detail the static RSDs cannot predict.
+    """
+    lines = [validation_report(pa, plan, attribution.fs_by_structure)]
+    hot = [r for r in attribution.rows if r.false_sharing and r.pairs]
+    if hot:
+        lines.append("hottest measured ping-pong pairs (writer→misser):")
+        for r in hot[:8]:
+            pair = r.top_pair
+            lines.append(
+                f"  {r.name:<28} P{pair[0]}→P{pair[1]} "
+                f"({r.pairs[pair]} of {r.false_sharing} FS misses)"
+            )
+    return "\n".join(lines)

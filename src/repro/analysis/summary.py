@@ -12,6 +12,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Optional
 
+from repro.obs import spans as obs
 from repro.analysis.nonconcurrency import PhaseInfo, analyze_phases
 from repro.analysis.pdv import PDVInfo, detect_pdvs
 from repro.analysis.perprocess import MAIN_PROC, ProcSetResult, compute_proc_sets
@@ -196,15 +197,22 @@ class ProgramAnalysis:
 def analyze_program(checked: CheckedProgram, nprocs: int) -> ProgramAnalysis:
     """Run all three analysis stages (plus PDV detection and static
     profiling) for a given process count."""
-    cg = build_callgraph(checked)
-    pdvinfo = detect_pdvs(checked, cg, nprocs)
-    phase_info = analyze_phases(checked, cg)
-    proc_sets = compute_proc_sets(checked, cg, pdvinfo, nprocs)
-    profile = compute_profile(checked, cg, pdvinfo, nprocs)
-    effects = analyze_side_effects(
-        checked, cg, pdvinfo, phase_info, proc_sets, profile, nprocs
-    )
-    patterns = aggregate_patterns(effects, nprocs)
+    with obs.span("analyze.callgraph"):
+        cg = build_callgraph(checked)
+    with obs.span("analyze.pdv"):
+        pdvinfo = detect_pdvs(checked, cg, nprocs)
+    with obs.span("analyze.stage2", stage="non-concurrency"):
+        phase_info = analyze_phases(checked, cg)
+    with obs.span("analyze.stage1", stage="per-process control flow"):
+        proc_sets = compute_proc_sets(checked, cg, pdvinfo, nprocs)
+    with obs.span("analyze.profile"):
+        profile = compute_profile(checked, cg, pdvinfo, nprocs)
+    with obs.span("analyze.stage3", stage="summary side effects"):
+        effects = analyze_side_effects(
+            checked, cg, pdvinfo, phase_info, proc_sets, profile, nprocs
+        )
+    with obs.span("analyze.aggregate"):
+        patterns = aggregate_patterns(effects, nprocs)
     return ProgramAnalysis(
         checked=checked,
         callgraph=cg,

@@ -13,11 +13,20 @@ Commands
     layout and print its output.
 ``simulate FILE``
     Trace and simulate both versions, printing the miss comparison.
+``profile FILE``
+    Run the whole pipeline under span tracing and miss attribution:
+    prints the span tree, the per-structure false-sharing tables, the
+    cache-line heatmap and the analysis-vs-simulation diff; exports a
+    Chrome trace (``--trace-out``) and a run manifest (``REPRO_RUN_LOG``).
 ``experiments NAME``
     Regenerate one of the paper's artifacts: ``table1 figure3 table2
     figure4 table3 headline``.
 ``workloads``
-    List the benchmark suite.
+    List the benchmark suite (``--stats`` adds trace/structure/timing
+    statistics from the static analysis and the run-manifest log).
+
+``FILE`` arguments accept either a path to a parallel-C source file or
+the name of a registered workload (``Maxflow``, ``Water``, ...).
 """
 
 from __future__ import annotations
@@ -26,8 +35,10 @@ import argparse
 import sys
 from pathlib import Path
 
-from repro.analysis import analyze_program
+from repro import obs, perf
+from repro.analysis import analyze_program, rsd_prediction_diff
 from repro.harness import (
+    Pipeline,
     WorkloadLab,
     figure3,
     figure4,
@@ -38,19 +49,39 @@ from repro.harness import (
     render_table1,
     render_table2,
     render_table3,
+    render_workload_stats,
     table1,
     table2,
     table3,
 )
 from repro.lang import compile_source
 from repro.layout import DataLayout
+from repro.layout.regions import build_region_map
+from repro.obs import chrome, manifest
 from repro.runtime import run_program
 from repro.sim import simulate_run, top_fs_structures
 from repro.transform import decide_transformations, render_transformed_source
 
 
+def _resolve_source(spec: str) -> tuple[str, str]:
+    """``(label, source)`` for a file path or a registered workload name."""
+    p = Path(spec)
+    if p.exists():
+        return p.stem, p.read_text()
+    from repro.workloads.registry import by_name
+
+    try:
+        wl = by_name(spec)
+    except KeyError:
+        raise SystemExit(
+            f"repro: {spec!r} is neither a file nor a known workload"
+        ) from None
+    return wl.name, wl.source
+
+
 def _load(path: str):
-    return compile_source(Path(path).read_text(), filename=path)
+    label, source = _resolve_source(path)
+    return compile_source(source, filename=label)
 
 
 def cmd_analyze(args) -> int:
@@ -117,8 +148,83 @@ def cmd_run(args) -> int:
     return int(result.exit_value or 0)
 
 
+def _begin_profiling(args) -> bool:
+    """Enable span tracing when ``--profile`` (or a trace output) was
+    requested; returns whether profiling is on."""
+    profiling = bool(
+        getattr(args, "profile", False) or getattr(args, "trace_out", None)
+    )
+    if profiling:
+        obs.enable()
+        obs.reset()
+    return profiling
+
+
+def _finish_profiling(args, profiling: bool) -> None:
+    """Print the span tree and export the Chrome trace, if asked to."""
+    if not profiling:
+        return
+    print()
+    print("span tree:")
+    print(obs.render_tree())
+    out = getattr(args, "trace_out", None) or chrome.default_trace_out()
+    if out:
+        n = chrome.write_trace(out)
+        print(f"[chrome trace: {n} events -> {out}]", file=sys.stderr)
+
+
+def _record_manifest(
+    *, kind: str, label: str, source: str, plan, nprocs: int,
+    block_size: int, sim=None, fs_by_structure=None,
+) -> None:
+    """Append one run record to the ``REPRO_RUN_LOG`` manifest (no-op
+    when the log is not configured)."""
+    rec = manifest.build_record(
+        kind=kind,
+        workload=label,
+        source=source,
+        plan_desc="natural" if plan is None else plan.describe(),
+        nprocs=nprocs,
+        block_size=block_size,
+        machine=(
+            {}
+            if sim is None
+            else {
+                "cache_size": sim.config.size,
+                "assoc": sim.config.assoc,
+                "block_size": sim.config.block_size,
+            }
+        ),
+        refs=0 if sim is None else sim.refs + sim.extra_refs,
+        trace_len=0 if sim is None else sim.refs,
+        misses=(
+            {}
+            if sim is None
+            else {
+                "cold": sim.misses.cold,
+                "replace": sim.misses.replace,
+                "true": sim.misses.true_sharing,
+                "false": sim.misses.false_sharing,
+            }
+        ),
+        fs_by_structure=fs_by_structure or {},
+        perf_snapshot=perf.snapshot(),
+        span_timings=obs.flat_timings() if obs.enabled() else {},
+        extra=(
+            {"wall_seconds": round(obs.total_seconds(), 6)}
+            if obs.enabled()
+            else None
+        ),
+    )
+    path = manifest.record(rec)
+    if path is not None:
+        print(f"[manifest record -> {path}]", file=sys.stderr)
+
+
 def cmd_simulate(args) -> int:
-    checked = _load(args.file)
+    profiling = _begin_profiling(args)
+    label, source = _resolve_source(args.file)
+    checked = compile_source(source, filename=label)
     pa = analyze_program(checked, args.nprocs)
     plan = decide_transformations(pa, block_size=args.block_size)
     base_layout = DataLayout(
@@ -127,31 +233,99 @@ def cmd_simulate(args) -> int:
     opt_layout = DataLayout(
         checked, plan, nprocs=args.nprocs, block_size=args.block_size
     )
-    base = run_program(checked, base_layout, args.nprocs)
-    opt = run_program(checked, opt_layout, args.nprocs)
+    with obs.span("simulate.run", version="N"):
+        base = run_program(checked, base_layout, args.nprocs)
+    with obs.span("simulate.run", version="C"):
+        opt = run_program(checked, opt_layout, args.nprocs)
     print(plan.describe())
     print()
-    for label, run, layout in (
-        ("unoptimized", base, base_layout),
-        ("transformed", opt, opt_layout),
+    for vlabel, vplan, run, layout in (
+        ("unoptimized", None, base, base_layout),
+        ("transformed", plan, opt, opt_layout),
     ):
         sim = simulate_run(run, args.block_size)
         print(
-            f"{label:>12}: miss rate {100 * sim.miss_rate:6.2f}%  "
+            f"{vlabel:>12}: miss rate {100 * sim.miss_rate:6.2f}%  "
             f"misses {sim.total_misses:6d}  "
             f"false sharing {sim.misses.false_sharing:6d}"
         )
-        if args.verbose:
-            from repro.layout.regions import build_region_map
-
-            regions = build_region_map(layout, run.heap_segments)
+        regions = build_region_map(layout, run.heap_segments)
+        if profiling:
+            print()
+            print(obs.render_fs_table(sim, regions))
+            print()
+            _record_manifest(
+                kind="simulate", label=f"{label}/{vlabel}", source=source,
+                plan=vplan, nprocs=args.nprocs, block_size=args.block_size,
+                sim=sim,
+                fs_by_structure=obs.fs_table(sim, regions).fs_by_structure,
+            )
+        elif args.verbose:
             for s in top_fs_structures(sim, regions, 5):
                 if s.false_sharing:
                     print(f"{'':>14}{s.name}: {s.false_sharing} FS misses")
+    _finish_profiling(args, profiling)
+    return 0
+
+
+def cmd_profile(args) -> int:
+    args.profile = True
+    profiling = _begin_profiling(args)
+    label, source = _resolve_source(args.file)
+    with obs.span("profile", target=label, nprocs=args.nprocs):
+        pipe = Pipeline(source, block_size=args.block_size)
+        pa = pipe.analysis(args.nprocs)
+        plan = pipe.compiler_plan(args.nprocs)
+        base = pipe.run_unoptimized(args.nprocs)
+        opt = pipe.run_compiler(args.nprocs)
+        with obs.span("profile.simulate"):
+            sim_n = base.simulate(args.block_size)
+            sim_c = opt.simulate(args.block_size)
+    regions_n = base.regions()
+    regions_c = opt.regions()
+
+    print(f"profile of {label} ({args.nprocs} procs, "
+          f"{args.block_size}-byte blocks)")
+    print()
+    print(plan.describe())
+    print()
+    for vlabel, sim in (("unoptimized", sim_n), ("transformed", sim_c)):
+        print(
+            f"{vlabel:>12}: miss rate {100 * sim.miss_rate:6.2f}%  "
+            f"misses {sim.total_misses:6d}  "
+            f"false sharing {sim.misses.false_sharing:6d}"
+        )
+    print()
+    print("— unoptimized version —")
+    print(obs.render_fs_table(sim_n, regions_n))
+    print()
+    print(obs.render_pair_breakdown(sim_n, regions_n))
+    print()
+    print(obs.render_heatmap(sim_n, regions_n))
+    print()
+    print(rsd_prediction_diff(pa, plan, obs.fs_table(sim_n, regions_n)))
+    if args.verbose:
+        print()
+        print("— transformed version —")
+        print(obs.render_fs_table(sim_c, regions_c))
+        print()
+        print(obs.render_heatmap(sim_c, regions_c))
+    for vlabel, vplan, sim, regions in (
+        ("N", None, sim_n, regions_n),
+        ("C", plan, sim_c, regions_c),
+    ):
+        _record_manifest(
+            kind="profile", label=f"{label}/{vlabel}", source=source,
+            plan=vplan, nprocs=args.nprocs, block_size=args.block_size,
+            sim=sim,
+            fs_by_structure=obs.fs_table(sim, regions).fs_by_structure,
+        )
+    _finish_profiling(args, profiling)
     return 0
 
 
 def cmd_experiments(args) -> int:
+    profiling = _begin_profiling(args)
     lab = WorkloadLab()
     name = args.name
     if name == "table1":
@@ -171,11 +345,46 @@ def cmd_experiments(args) -> int:
     else:  # pragma: no cover - argparse restricts choices
         print(f"unknown experiment {name!r}", file=sys.stderr)
         return 2
+    rec = manifest.build_record(
+        kind="experiment",
+        workload=name,
+        source="",
+        plan_desc="-",
+        nprocs=0,
+        block_size=0,
+        perf_snapshot=perf.snapshot(),
+        span_timings=obs.flat_timings() if obs.enabled() else {},
+    )
+    path = manifest.record(rec)
+    if path is not None:
+        print(f"[manifest record -> {path}]", file=sys.stderr)
+    _finish_profiling(args, profiling)
     return 0
 
 
-def cmd_workloads(_args) -> int:
+def cmd_workloads(args) -> int:
     print(render_table1(table1()))
+    if not getattr(args, "stats", False):
+        return 0
+    from repro.workloads.registry import ALL_WORKLOADS
+
+    rows = []
+    for wl in ALL_WORKLOADS:
+        checked = compile_source(wl.source, filename=wl.name)
+        pa = analyze_program(checked, wl.fig3_procs)
+        last = manifest.last_for(wl.name)
+        rows.append(
+            {
+                "program": wl.name,
+                "versions": " ".join(wl.versions),
+                "structures": len(pa.patterns),
+                "trace_len": (last or {}).get("trace_len"),
+                "wall_seconds": (last or {}).get("wall_seconds"),
+                "last_ts": (last or {}).get("ts"),
+            }
+        )
+    print()
+    print(render_workload_stats(rows))
     return 0
 
 
@@ -188,10 +397,23 @@ def build_parser() -> argparse.ArgumentParser:
     sub = parser.add_subparsers(dest="command", required=True)
 
     def common(p):
-        p.add_argument("file", help="parallel-C source file")
+        p.add_argument(
+            "file", help="parallel-C source file or workload name"
+        )
         p.add_argument("-p", "--nprocs", type=int, default=8)
         p.add_argument("-b", "--block-size", type=int, default=128)
         p.add_argument("-v", "--verbose", action="store_true")
+
+    def profiled(p):
+        p.add_argument(
+            "--profile", action="store_true",
+            help="record spans and per-structure miss attribution",
+        )
+        p.add_argument(
+            "--trace-out", metavar="PATH",
+            help="write a Chrome trace-event JSON file "
+            "(default: $REPRO_TRACE_OUT; implies --profile)",
+        )
 
     p = sub.add_parser("analyze", help="print sharing patterns and the plan")
     common(p)
@@ -209,16 +431,31 @@ def build_parser() -> argparse.ArgumentParser:
 
     p = sub.add_parser("simulate", help="compare miss rates N vs C")
     common(p)
+    profiled(p)
     p.set_defaults(func=cmd_simulate)
+
+    p = sub.add_parser(
+        "profile",
+        help="trace the pipeline and attribute misses to structures",
+    )
+    common(p)
+    profiled(p)
+    p.set_defaults(func=cmd_profile)
 
     p = sub.add_parser("experiments", help="regenerate a paper artifact")
     p.add_argument(
         "name",
         choices=["table1", "figure3", "table2", "figure4", "table3", "headline"],
     )
+    profiled(p)
     p.set_defaults(func=cmd_experiments)
 
     p = sub.add_parser("workloads", help="list the benchmark suite")
+    p.add_argument(
+        "--stats", action="store_true",
+        help="add structure counts and last-run statistics "
+        "(from the $REPRO_RUN_LOG manifest)",
+    )
     p.set_defaults(func=cmd_workloads)
     return parser
 

@@ -15,11 +15,13 @@ Every driver returns plain dataclasses; the rendering lives in
 
 from __future__ import annotations
 
+import functools
 from dataclasses import dataclass, field
 from typing import Iterable, Optional, Sequence
 
 from repro.harness import parallel
 from repro.harness.parallel import Point, resolve_plan
+from repro.obs import spans as obs
 from repro.harness.pipeline import Pipeline, VersionRun
 from repro.machine import KSR2Config, SpeedupCurve, build_curve
 from repro.transform import ALL_KINDS, TransformPlan
@@ -40,6 +42,18 @@ FIGURE3_BLOCK_SIZES = (16, 128)
 
 #: Default processor sweep for the execution-time experiments.
 DEFAULT_SWEEP = (1, 2, 4, 8, 12, 16, 24, 32, 48)
+
+
+def _spanned(fn):
+    """Run an experiment driver under an ``experiments.<name>`` span so
+    a profiled suite shows where each artifact's time went."""
+
+    @functools.wraps(fn)
+    def wrapper(*args, **kwargs):
+        with obs.span(f"experiments.{fn.__name__}"):
+            return fn(*args, **kwargs)
+
+    return wrapper
 
 
 class WorkloadLab:
@@ -88,14 +102,15 @@ class WorkloadLab:
                 todo.append(p)
         if len(todo) <= 1:
             return
-        produced = parallel.run_points(todo, self.block_size, self.jobs)
-        for (name, version, nprocs), run in produced.items():
-            wl = by_name(name)
-            pipe = self.pipeline(wl)
-            plan = resolve_plan(pipe, wl, version, nprocs)
-            self._runs[(name, version, nprocs)] = pipe.execute(
-                nprocs, plan, version, run=run
-            )
+        with obs.span("lab.prefetch", points=len(todo)):
+            produced = parallel.run_points(todo, self.block_size, self.jobs)
+            for (name, version, nprocs), run in produced.items():
+                wl = by_name(name)
+                pipe = self.pipeline(wl)
+                plan = resolve_plan(pipe, wl, version, nprocs)
+                self._runs[(name, version, nprocs)] = pipe.execute(
+                    nprocs, plan, version, run=run
+                )
 
 
 # --------------------------------------------------------------------------
@@ -142,6 +157,7 @@ class Figure3Result:
         raise KeyError(program)
 
 
+@_spanned
 def figure3(
     workloads: Sequence[Workload] = SIMULATION_WORKLOADS,
     block_sizes: Sequence[int] = FIGURE3_BLOCK_SIZES,
@@ -202,6 +218,7 @@ def _fs_misses(vr: VersionRun, block_sizes: Iterable[int]) -> dict[int, int]:
     return {bs: vr.simulate(bs).misses.false_sharing for bs in block_sizes}
 
 
+@_spanned
 def table2(
     workloads: Sequence[Workload] = SIMULATION_WORKLOADS,
     block_sizes: Sequence[int] = TABLE2_BLOCK_SIZES,
@@ -306,6 +323,7 @@ class ScalabilityResult:
     baseline_cycles: float = 0.0
 
 
+@_spanned
 def scalability(
     wl: Workload,
     proc_counts: Sequence[int] = DEFAULT_SWEEP,
@@ -342,6 +360,7 @@ def scalability(
     return result
 
 
+@_spanned
 def figure4(
     programs: Sequence[str] = FIGURE4_PROGRAMS,
     proc_counts: Sequence[int] = DEFAULT_SWEEP,
@@ -361,6 +380,7 @@ class Table3Row:
     paper: dict[str, tuple[float, int]] = field(default_factory=dict)
 
 
+@_spanned
 def table3(
     workloads: Sequence[Workload] = ALL_WORKLOADS,
     proc_counts: Sequence[int] = DEFAULT_SWEEP,
@@ -394,6 +414,7 @@ class ImprovementRow:
         return max(self.by_procs.values()) if self.by_procs else 0.0
 
 
+@_spanned
 def improvements(
     workloads: Optional[Sequence[Workload]] = None,
     proc_counts: Sequence[int] = DEFAULT_SWEEP,
@@ -440,6 +461,7 @@ class HeadlineStats:
     total_miss_reduction_64: float     # paper: 0.49 average at 64 B
 
 
+@_spanned
 def headline(
     workloads: Sequence[Workload] = SIMULATION_WORKLOADS,
     lab: Optional[WorkloadLab] = None,

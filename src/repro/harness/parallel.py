@@ -25,6 +25,7 @@ from concurrent.futures import ProcessPoolExecutor
 from typing import TYPE_CHECKING, Optional, Sequence
 
 from repro import perf
+from repro.obs import spans as obs
 from repro.transform import TransformPlan
 
 if TYPE_CHECKING:  # pragma: no cover
@@ -79,16 +80,18 @@ _worker_pipes: dict = {}
 
 def _run_point(
     name: str, version: str, nprocs: int, block_size: int
-) -> tuple["RunResult", dict[str, float]]:
+) -> tuple["RunResult", dict[str, float], list[dict]]:
     """Interpret one grid point in a worker process.
 
-    Returns the run plus the worker's perf-counter snapshot so the
-    parent can fold stage timings into its own counters.
+    Returns the run plus the worker's perf-counter snapshot and span
+    snapshot, so the parent can fold stage timings (and, when profiling,
+    the span tree) back into its own trace.
     """
     from repro.harness.pipeline import Pipeline
     from repro.workloads.registry import by_name
 
     perf.reset()
+    obs.reset()
     wl = by_name(name)
     pipe = _worker_pipes.get((name, block_size))
     if pipe is None:
@@ -96,8 +99,9 @@ def _run_point(
             wl.source, block_size=block_size
         )
     plan = resolve_plan(pipe, wl, version, nprocs)
-    vr = pipe.execute(nprocs, plan, version)
-    return vr.run, perf.snapshot()
+    with obs.span("worker.point", point=f"{name}/{version}/{nprocs}"):
+        vr = pipe.execute(nprocs, plan, version)
+    return vr.run, perf.snapshot(), obs.span_snapshot()
 
 
 # -- parent side --------------------------------------------------------------
@@ -114,6 +118,11 @@ def run_points(
     merge).  Falls back to an empty mapping when parallelism cannot
     help (single worker, single point, or a broken pool) — callers then
     take the ordinary serial path.
+
+    Worker perf-counter and span snapshots are merged back into the
+    parent for **every** completed point, even when another point (or
+    the pool itself) fails mid-collection — a worker's cache and timing
+    statistics must never be silently dropped.
     """
     jobs = default_jobs() if jobs is None else jobs
     jobs = min(jobs, len(points))
@@ -127,11 +136,18 @@ def run_points(
                 for p in points
             ]
             # Grid order, not completion order: deterministic merging.
-            for point, fut in futures:
-                run, counters = fut.result()
+            for i, (point, fut) in enumerate(futures):
+                try:
+                    run, counters, spans = fut.result()
+                except Exception:  # one bad point must not lose the rest
+                    perf.add("parallel.point_failed")
+                    continue
                 out[point] = run
                 perf.merge(
                     {f"worker.{k}": v for k, v in counters.items()}
+                )
+                obs.attach_worker_spans(
+                    f"worker[{i}]:{point[0]}/{point[1]}/{point[2]}", spans
                 )
     except (OSError, RuntimeError):  # broken pool, fork limits, ...
         perf.add("parallel.pool_failed")

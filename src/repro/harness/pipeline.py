@@ -24,6 +24,7 @@ from dataclasses import dataclass
 from typing import Optional
 
 from repro import perf
+from repro.obs import spans as obs
 from repro.analysis import ProgramAnalysis, analyze_program
 from repro.lang import CheckedProgram, compile_source
 from repro.layout import DataLayout
@@ -74,7 +75,8 @@ class Pipeline:
         self.source = source
         self.block_size = block_size
         self.max_steps = max_steps
-        self.checked = compile_source(source)
+        with obs.span("pipeline.compile"):
+            self.checked = compile_source(source)
         self._analyses: dict[int, ProgramAnalysis] = {}
         self._plans: dict[int, TransformPlan] = {}
 
@@ -83,15 +85,18 @@ class Pipeline:
     def analysis(self, nprocs: int) -> ProgramAnalysis:
         pa = self._analyses.get(nprocs)
         if pa is None:
-            pa = self._analyses[nprocs] = analyze_program(self.checked, nprocs)
+            with obs.span("pipeline.analysis", nprocs=nprocs):
+                pa = analyze_program(self.checked, nprocs)
+            self._analyses[nprocs] = pa
         return pa
 
     def compiler_plan(self, nprocs: int) -> TransformPlan:
         plan = self._plans.get(nprocs)
         if plan is None:
-            plan = decide_transformations(
-                self.analysis(nprocs), block_size=self.block_size
-            )
+            with obs.span("pipeline.plan", nprocs=nprocs):
+                plan = decide_transformations(
+                    self.analysis(nprocs), block_size=self.block_size
+                )
             self._plans[nprocs] = plan
         return plan
 
@@ -124,19 +129,24 @@ class Pipeline:
         interp_seconds = 0.0
         from_cache = False
         if run is None:
-            key = self._run_key(plan, nprocs)
-            run = trace_cache.load_run(key)
-            if run is None:
-                t0 = time.perf_counter()
-                run = run_program(
-                    self.checked, layout, nprocs, max_steps=self.max_steps
-                )
-                interp_seconds = time.perf_counter() - t0
-                perf.add("interp.seconds", interp_seconds)
-                perf.add("interp.runs")
-                trace_cache.store_run(key, run)
-            else:
-                from_cache = True
+            with obs.span(
+                "pipeline.execute", version=version, nprocs=nprocs
+            ) as sp:
+                key = self._run_key(plan, nprocs)
+                run = trace_cache.load_run(key)
+                if run is None:
+                    t0 = time.perf_counter()
+                    run = run_program(
+                        self.checked, layout, nprocs, max_steps=self.max_steps
+                    )
+                    interp_seconds = time.perf_counter() - t0
+                    perf.add("interp.seconds", interp_seconds)
+                    perf.add("interp.runs")
+                    trace_cache.store_run(key, run)
+                else:
+                    from_cache = True
+                if sp is not None:
+                    sp.meta["from_cache"] = from_cache
         return VersionRun(
             version=version,
             nprocs=nprocs,

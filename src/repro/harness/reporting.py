@@ -102,6 +102,29 @@ def render_table3(rows: Sequence[Table3Row]) -> str:
     return "\n".join(lines)
 
 
+def render_workload_stats(rows: Sequence[dict]) -> str:
+    """The ``repro workloads --stats`` table.
+
+    Each row: workload name/versions, shared-structure count from the
+    static analysis, and — when the ``REPRO_RUN_LOG`` manifest has seen
+    the workload — the last run's trace length and wall time.
+    """
+    lines = [
+        "Workload statistics (trace/timing columns come from the "
+        "REPRO_RUN_LOG manifest; '—' = never recorded)",
+        f"{'Program':<12} {'Versions':<9} {'Structs':>7} {'Trace refs':>11} "
+        f"{'Last wall':>10}  Last recorded",
+    ]
+    for r in rows:
+        trace_len = f"{r['trace_len']:,}" if r.get("trace_len") else "—"
+        wall = f"{r['wall_seconds']:.2f}s" if r.get("wall_seconds") else "—"
+        lines.append(
+            f"{r['program']:<12} {r['versions']:<9} {r['structures']:>7} "
+            f"{trace_len:>11} {wall:>10}  {r.get('last_ts') or '—'}"
+        )
+    return "\n".join(lines)
+
+
 def render_headline(stats: HeadlineStats) -> str:
     return "\n".join(
         [

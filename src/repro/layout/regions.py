@@ -68,6 +68,29 @@ class RegionMap:
             return "(group)"
         return "(unknown)"
 
+    def names_in_range(self, lo: int, hi: int) -> list[str]:
+        """Every structure name overlapping ``[lo, hi)``, in address
+        order (duplicates removed).
+
+        A cache block that straddles two structures is exactly the
+        layout-induced false-sharing situation, so the heatmap view
+        names *all* residents of a line, not just the one at its base.
+        """
+        names: list[str] = []
+        i = max(bisect_right(self._starts, lo) - 1, 0)
+        while i < len(self.segments) and self.segments[i].start < hi:
+            seg = self.segments[i]
+            if seg.end > lo and seg.name not in names:
+                names.append(seg.name)
+            i += 1
+        if not names:
+            names.append(self.name_of(lo))
+        elif self.name_of(lo) not in names:
+            # the base address falls in a synthetic region ((sync),
+            # (arena:N), ...) that the segment list does not cover
+            names.insert(0, self.name_of(lo))
+        return names
+
 
 def build_region_map(
     layout: DataLayout,

@@ -1,0 +1,154 @@
+"""Chrome trace-event export of recorded spans.
+
+Emits the JSON object format of the Trace Event specification (the
+format ``chrome://tracing`` and Perfetto load): a top-level
+``{"traceEvents": [...]}`` object whose events are *complete* events
+(``"ph": "X"``) carrying microsecond timestamps and durations, plus
+process-name metadata events (``"ph": "M"``) labelling the main process
+and each parallel worker lane.
+
+:func:`validate_trace` / :func:`validate_trace_file` check an emitted
+trace against the subset of the spec we produce — CI runs the file
+validator on the ``repro profile`` smoke artifact.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from repro.obs.spans import Span, roots
+
+#: Default output path for the trace export (used when a ``--trace-out``
+#: flag is not given).
+TRACE_OUT_ENV = "REPRO_TRACE_OUT"
+
+#: Phase types we emit.
+_COMPLETE = "X"
+_METADATA = "M"
+
+
+def default_trace_out() -> Path | None:
+    """Trace output path from ``REPRO_TRACE_OUT``, or None."""
+    import os
+
+    raw = os.environ.get(TRACE_OUT_ENV, "").strip()
+    return Path(raw) if raw else None
+
+
+def _worker_pid(label: str, lanes: dict[str, int]) -> int:
+    """Stable pid lane for a worker label (0 = the main process)."""
+    if not label:
+        return 0
+    pid = lanes.get(label)
+    if pid is None:
+        pid = lanes[label] = len(lanes) + 1
+    return pid
+
+
+def to_trace_events(spans: list[Span] | None = None) -> dict:
+    """The recorded spans as a Chrome trace-event JSON object."""
+    spans = roots() if spans is None else spans
+    lanes: dict[str, int] = {}
+    events: list[dict] = []
+    for root in spans:
+        for _, sp in root.walk():
+            args: dict = {}
+            if sp.meta:
+                args["meta"] = {k: _jsonable(v) for k, v in sp.meta.items()}
+            if sp.counters:
+                args["counters"] = dict(sp.counters)
+            events.append(
+                {
+                    "name": sp.name,
+                    "cat": sp.name.split(".", 1)[0],
+                    "ph": _COMPLETE,
+                    "ts": round(sp.t0 * 1e6, 3),
+                    "dur": round(sp.dur * 1e6, 3),
+                    "pid": _worker_pid(sp.worker, lanes),
+                    "tid": 0,
+                    "args": args,
+                }
+            )
+    meta_events = [
+        {
+            "name": "process_name",
+            "ph": _METADATA,
+            "pid": 0,
+            "tid": 0,
+            "args": {"name": "repro"},
+        }
+    ]
+    for label, pid in sorted(lanes.items(), key=lambda kv: kv[1]):
+        meta_events.append(
+            {
+                "name": "process_name",
+                "ph": _METADATA,
+                "pid": pid,
+                "tid": 0,
+                "args": {"name": label},
+            }
+        )
+    return {"traceEvents": meta_events + events, "displayTimeUnit": "ms"}
+
+
+def _jsonable(value):
+    if isinstance(value, (str, int, float, bool)) or value is None:
+        return value
+    return str(value)
+
+
+def write_trace(path: str | Path, spans: list[Span] | None = None) -> int:
+    """Write the trace-event JSON to ``path``; returns the event count."""
+    obj = to_trace_events(spans)
+    Path(path).write_text(json.dumps(obj, indent=1))
+    return len(obj["traceEvents"])
+
+
+# -- validation ---------------------------------------------------------------
+
+
+def validate_trace(obj: dict) -> int:
+    """Check ``obj`` against the trace-event schema subset we emit.
+
+    Returns the number of events; raises :class:`ValueError` with a
+    precise message on the first violation.
+    """
+    if not isinstance(obj, dict):
+        raise ValueError(f"top level must be an object, got {type(obj).__name__}")
+    events = obj.get("traceEvents")
+    if not isinstance(events, list):
+        raise ValueError("missing or non-list 'traceEvents'")
+    if not events:
+        raise ValueError("'traceEvents' is empty")
+    for i, ev in enumerate(events):
+        where = f"traceEvents[{i}]"
+        if not isinstance(ev, dict):
+            raise ValueError(f"{where}: event must be an object")
+        name = ev.get("name")
+        if not isinstance(name, str) or not name:
+            raise ValueError(f"{where}: 'name' must be a non-empty string")
+        ph = ev.get("ph")
+        if ph not in (_COMPLETE, _METADATA):
+            raise ValueError(f"{where}: unsupported phase {ph!r}")
+        for key in ("pid", "tid"):
+            if not isinstance(ev.get(key), int):
+                raise ValueError(f"{where}: '{key}' must be an integer")
+        if ph == _COMPLETE:
+            ts, dur = ev.get("ts"), ev.get("dur")
+            if not isinstance(ts, (int, float)) or ts < 0:
+                raise ValueError(f"{where}: 'ts' must be a non-negative number")
+            if not isinstance(dur, (int, float)) or dur < 0:
+                raise ValueError(f"{where}: 'dur' must be a non-negative number")
+        if "args" in ev and not isinstance(ev["args"], dict):
+            raise ValueError(f"{where}: 'args' must be an object")
+    return len(events)
+
+
+def validate_trace_file(path: str | Path) -> int:
+    """Load ``path`` as JSON and validate it; returns the event count."""
+    try:
+        obj = json.loads(Path(path).read_text())
+    except json.JSONDecodeError as e:
+        raise ValueError(f"{path}: not valid JSON: {e}") from e
+    return validate_trace(obj)

@@ -1,0 +1,166 @@
+"""Run manifests: one JSONL record per pipeline run.
+
+A manifest record captures everything needed to account for a run after
+the fact — what was run (source hash, plan, geometry), on what machine
+model, how the caches behaved (trace-cache and sim-memo hit/miss
+counters), where the time went (aggregated span timings), and what the
+simulator observed (miss breakdown, per-structure false sharing).
+
+Records are appended to the file named by the ``REPRO_RUN_LOG``
+environment variable; when it is unset, recording is a no-op (the
+pipeline never pays for observability it was not asked for).  Appends
+are line-atomic (one ``write`` of one ``\\n``-terminated line), so
+concurrent experiment processes can share a log.
+
+Schema (one JSON object per line)::
+
+    {
+      "schema": 1,
+      "ts": "2026-08-06T12:00:00+00:00",   # UTC, ISO-8601
+      "kind": "simulate" | "profile" | "experiment" | ...,
+      "workload": "Maxflow",
+      "source_sha256": "...",              # hash of the source text
+      "plan": "TransformPlan(...)",        # or "natural"
+      "nprocs": 12, "block_size": 128,
+      "machine": {"cache_size": ..., "assoc": ..., "block_size": ...},
+      "refs": 123456, "trace_len": 120000,
+      "misses": {"cold": ..., "replace": ..., "true": ..., "false": ...},
+      "fs_by_structure": {"counter": 123, ...},
+      "perf": {"trace_cache.hit": 1, ...}, # cache/engine counters
+      "spans": {"pipeline.execute": 0.81, ...}  # seconds per span name
+    }
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+from datetime import datetime, timezone
+from pathlib import Path
+
+RUN_LOG_ENV = "REPRO_RUN_LOG"
+
+#: Bump when the record shape changes incompatibly.
+SCHEMA = 1
+
+#: perf counters worth persisting (cache behaviour + stage seconds).
+_PERF_KEYS = (
+    "trace_cache.hit",
+    "trace_cache.miss",
+    "trace_cache.store",
+    "trace_cache.corrupt",
+    "sim_cache.hit",
+    "sim_cache.miss",
+    "events_cache.hit",
+    "events_cache.miss",
+    "interp.runs",
+    "interp.seconds",
+    "sim.fast",
+    "sim.reference",
+    "parallel.points",
+)
+
+
+def log_path() -> Path | None:
+    """The active manifest log, or None when recording is off."""
+    raw = os.environ.get(RUN_LOG_ENV, "").strip()
+    if not raw or raw.lower() in {"0", "off", "no", "none", "false"}:
+        return None
+    return Path(raw)
+
+
+def source_hash(source: str) -> str:
+    return hashlib.sha256(source.encode()).hexdigest()
+
+
+def build_record(
+    *,
+    kind: str,
+    workload: str,
+    source: str,
+    plan_desc: str,
+    nprocs: int,
+    block_size: int,
+    machine: dict | None = None,
+    refs: int = 0,
+    trace_len: int = 0,
+    misses: dict | None = None,
+    fs_by_structure: dict | None = None,
+    perf_snapshot: dict | None = None,
+    span_timings: dict | None = None,
+    extra: dict | None = None,
+) -> dict:
+    """Assemble one manifest record (pure; does not write)."""
+    perf_part = {
+        k: v for k, v in (perf_snapshot or {}).items() if k in _PERF_KEYS
+    }
+    rec = {
+        "schema": SCHEMA,
+        "ts": datetime.now(timezone.utc).isoformat(timespec="seconds"),
+        "kind": kind,
+        "workload": workload,
+        "source_sha256": source_hash(source),
+        "plan": plan_desc,
+        "nprocs": nprocs,
+        "block_size": block_size,
+        "machine": machine or {},
+        "refs": int(refs),
+        "trace_len": int(trace_len),
+        "misses": misses or {},
+        "fs_by_structure": fs_by_structure or {},
+        "perf": perf_part,
+        "spans": {k: round(v, 6) for k, v in (span_timings or {}).items()},
+    }
+    if extra:
+        rec.update(extra)
+    return rec
+
+
+def record(rec: dict) -> Path | None:
+    """Append ``rec`` to the run log; returns the path written, or None
+    when recording is disabled or the write failed."""
+    path = log_path()
+    if path is None:
+        return None
+    try:
+        path.parent.mkdir(parents=True, exist_ok=True)
+        with open(path, "a", encoding="utf-8") as fh:
+            fh.write(json.dumps(rec, sort_keys=True) + "\n")
+    except OSError:
+        return None
+    return path
+
+
+def read_all(path: str | Path | None = None) -> list[dict]:
+    """Every parseable record in the log (corrupt lines are skipped)."""
+    p = Path(path) if path is not None else log_path()
+    if p is None or not p.exists():
+        return []
+    out: list[dict] = []
+    for line in p.read_text(encoding="utf-8").splitlines():
+        line = line.strip()
+        if not line:
+            continue
+        try:
+            rec = json.loads(line)
+        except json.JSONDecodeError:
+            continue
+        if isinstance(rec, dict):
+            out.append(rec)
+    return out
+
+
+def last_for(workload: str, path: str | Path | None = None) -> dict | None:
+    """The most recent record for ``workload`` (case-insensitive).
+
+    Records label versioned runs ``Workload/version``; the version
+    suffix is ignored when matching.
+    """
+    want = workload.lower()
+    got = None
+    for rec in read_all(path):
+        name = str(rec.get("workload", "")).lower()
+        if name == want or name.split("/", 1)[0] == want:
+            got = rec
+    return got

@@ -17,6 +17,11 @@ Counters are process-local and intentionally simple: a flat
 *processes*, not threads, so contention is negligible — the lock only
 protects against harness threads).  ``snapshot()`` returns a plain dict
 so tests and benchmarks can diff before/after.
+
+This module is also the counter backend of :mod:`repro.obs`: spans
+snapshot the counters on entry and exit and store ``delta()`` of the
+two, which is how stage-scoped cache-hit/miss accounting reaches the
+span tree, the Chrome trace export, and the run manifests.
 """
 
 from __future__ import annotations
@@ -65,6 +70,17 @@ def reset() -> None:
     """Zero every counter (tests and benchmark setup)."""
     with _lock:
         _counters.clear()
+
+
+def delta(before: dict[str, float], after: dict[str, float]) -> dict[str, float]:
+    """Counters that changed between two snapshots (new - old, only
+    non-zero entries) — the span-scoped view :mod:`repro.obs` records."""
+    out: dict[str, float] = {}
+    for name, value in after.items():
+        d = value - before.get(name, 0.0)
+        if d:
+            out[name] = d
+    return out
 
 
 def merge(other: dict[str, float]) -> None:

@@ -872,7 +872,13 @@ def run_program(
 ) -> RunResult:
     """Execute a checked program under ``layout`` with ``nprocs`` worker
     processes and return the trace and counters."""
+    from repro.obs import spans as obs
+
     interp = Interpreter(
         checked, layout, nprocs, quantum=quantum, max_steps=max_steps
     )
-    return interp.run()
+    with obs.span("interp.run", nprocs=nprocs) as sp:
+        result = interp.run()
+        if sp is not None:
+            sp.meta["trace_len"] = len(result.trace)
+    return result

@@ -36,6 +36,7 @@ from __future__ import annotations
 
 import hashlib
 import json
+import logging
 import os
 import tempfile
 from pathlib import Path
@@ -45,8 +46,17 @@ import numpy as np
 from repro import perf
 from repro.runtime.trace import RunResult, Trace
 
-#: Bump when interpreter/layout semantics change observable runs.
-SCHEMA = 1
+log = logging.getLogger("repro.trace_cache")
+
+#: Bump when interpreter/layout semantics change observable runs (2:
+#: entries self-identify with their key and are validated on load).
+SCHEMA = 2
+
+#: Metadata fields a well-formed entry must carry.
+_REQUIRED_META = (
+    "key", "nprocs", "work", "private_refs", "shared_refs",
+    "output", "exit_value", "heap_segments",
+)
 
 _ENV_DIR = "REPRO_TRACE_CACHE"
 _ENV_MIN = "REPRO_TRACE_CACHE_MIN"
@@ -95,32 +105,65 @@ def _path_for(key: str) -> Path | None:
     return None if root is None else root / f"{key}.npz"
 
 
+def _validated_run(z, key: str) -> RunResult:
+    """Decode and *validate* one cache entry; raises on any deformity.
+
+    Validation covers the failure modes a shared on-disk cache actually
+    sees: truncated ``.npz`` payloads, garbage bytes, entries written by
+    an older layout, and stale-key collisions (a file renamed or a hash
+    prefix reused for different inputs) — the ``key`` echoed in the
+    metadata must match the key being asked for.
+    """
+    meta = json.loads(bytes(z["meta"]).decode())
+    missing = [f for f in _REQUIRED_META if f not in meta]
+    if missing:
+        raise ValueError(f"metadata missing fields {missing}")
+    if meta["key"] != key:
+        raise ValueError(
+            f"stale-key collision: entry identifies as {meta['key'][:12]}…, "
+            f"requested {key[:12]}…"
+        )
+    columns = {name: z[name] for name in ("proc", "addr", "size", "is_write")}
+    lengths = {name: len(col) for name, col in columns.items()}
+    if len(set(lengths.values())) != 1:
+        raise ValueError(f"trace columns disagree on length: {lengths}")
+    trace = Trace(
+        proc=columns["proc"], addr=columns["addr"],
+        size=columns["size"], is_write=columns["is_write"].astype(bool),
+    )
+    return RunResult(
+        trace=trace,
+        nprocs=int(meta["nprocs"]),
+        work={int(k): v for k, v in meta["work"].items()},
+        private_refs={int(k): v for k, v in meta["private_refs"].items()},
+        shared_refs={int(k): v for k, v in meta["shared_refs"].items()},
+        output=list(meta["output"]),
+        exit_value=meta["exit_value"],
+        heap_segments=[tuple(seg) for seg in meta["heap_segments"]],
+    )
+
+
 def load_run(key: str) -> RunResult | None:
-    """Fetch a persisted run, or None on miss/corruption/disabled."""
+    """Fetch a persisted run, or None on miss/corruption/disabled.
+
+    A corrupt, truncated, or stale entry is never fatal: the entry is
+    dropped with a logged warning and the caller falls back to
+    re-interpreting the run.
+    """
     path = _path_for(key)
     if path is None or not path.exists():
         perf.add("trace_cache.miss")
         return None
     try:
         with np.load(path, allow_pickle=False) as z:
-            meta = json.loads(bytes(z["meta"]).decode())
-            trace = Trace(
-                proc=z["proc"], addr=z["addr"],
-                size=z["size"], is_write=z["is_write"].astype(bool),
-            )
-        run = RunResult(
-            trace=trace,
-            nprocs=int(meta["nprocs"]),
-            work={int(k): v for k, v in meta["work"].items()},
-            private_refs={int(k): v for k, v in meta["private_refs"].items()},
-            shared_refs={int(k): v for k, v in meta["shared_refs"].items()},
-            output=list(meta["output"]),
-            exit_value=meta["exit_value"],
-            heap_segments=[tuple(seg) for seg in meta["heap_segments"]],
-        )
-    except Exception:
+            run = _validated_run(z, key)
+    except Exception as e:
         # Corrupt or incompatible entry: drop it and re-interpret.
         perf.add("trace_cache.corrupt")
+        log.warning(
+            "trace cache entry %s is unusable (%s: %s); "
+            "recomputing the run", path.name, type(e).__name__, e,
+        )
         try:
             path.unlink()
         except OSError:
@@ -137,6 +180,7 @@ def store_run(key: str, run: RunResult) -> bool:
         return False
     meta = json.dumps(
         {
+            "key": key,
             "nprocs": run.nprocs,
             "work": run.work,
             "private_refs": run.private_refs,

@@ -60,6 +60,10 @@ _FALSE = 3
 _EVICT = 0
 _INVAL = 1
 
+#: Placeholder "no processor" for eviction loss records (pid -1 is the
+#: serial parent, so it cannot double as the sentinel).
+_NO_PROC = -2
+
 
 @dataclass(slots=True)
 class MissCounts:
@@ -129,6 +133,12 @@ class SimResult:
     #: false-sharing misses per block (for data-structure attribution)
     fs_by_block: dict[int, int] = field(default_factory=dict)
     miss_by_block: dict[int, int] = field(default_factory=dict)
+    #: block -> {(invalidating writer, missing proc) -> FS miss count};
+    #: sums exactly to ``misses.false_sharing`` (the attribution layer's
+    #: per-structure, per-processor-pair breakdown is folded from this)
+    fs_pair_by_block: dict[int, dict[tuple[int, int], int]] = field(
+        default_factory=dict
+    )
     #: extra references counted toward the denominator but not simulated
     extra_refs: int = 0
     #: wall-clock seconds spent in the simulation (instrumentation)
@@ -183,8 +193,11 @@ class CoherenceSim:
         self.sharers: dict[int, set[int]] = {}
         #: (proc, block) blocks this proc has ever had
         self.ever: set[tuple[int, int]] = set()
-        #: (proc, block) -> (cause, time) of last loss
-        self.lost: dict[tuple[int, int], tuple[int, int]] = {}
+        #: (proc, block) -> (cause, time, by-whom) of last loss; the
+        #: third element names the invalidating writer (or _NO_PROC for
+        #: evictions) so false-sharing misses can be attributed to the
+        #: processor pair that ping-ponged the block
+        self.lost: dict[tuple[int, int], tuple[int, int, int]] = {}
         #: block -> {word_index: (writer, time)}
         self.write_log: dict[int, dict[int, tuple[int, int]]] = {}
         self.time = 0
@@ -197,6 +210,7 @@ class CoherenceSim:
         self._pids_seen: list[int] = []
         self.fs_by_block: dict[int, int] = {}
         self.miss_by_block: dict[int, int] = {}
+        self.fs_pair_by_block: dict[int, dict[tuple[int, int], int]] = {}
         self.refs = 0
 
     # -- accounting views ---------------------------------------------------------
@@ -293,7 +307,7 @@ class CoherenceSim:
         key = (proc, block)
         if key not in self.ever:
             return _COLD
-        cause, t_lost = self.lost.get(key, (_EVICT, 0))
+        cause, t_lost, _by = self.lost.get(key, (_EVICT, 0, _NO_PROC))
         if cause == _EVICT:
             return _REPLACE
         log = self.write_log.get(block)
@@ -314,6 +328,11 @@ class CoherenceSim:
         self._proc_counts[proc + 1, kind] += 1
         if kind == _FALSE:
             self.fs_by_block[block] = self.fs_by_block.get(block, 0) + 1
+            # FALSE implies the copy was lost to an invalidation, so the
+            # loss record names the writer: attribute the ping-pong pair.
+            by = self.lost[(proc, block)][2]
+            pairs = self.fs_pair_by_block.setdefault(block, {})
+            pairs[(by, proc)] = pairs.get((by, proc), 0) + 1
         self.miss_by_block[block] = self.miss_by_block.get(block, 0) + 1
         self.ever.add((proc, block))
         self.stale_words.pop((proc, block), None)  # a fill refreshes all words
@@ -334,7 +353,7 @@ class CoherenceSim:
             vblock, vstate = victim
             if vstate == MODIFIED:
                 self.writebacks += 1
-            self.lost[(proc, vblock)] = (_EVICT, self.time)
+            self.lost[(proc, vblock)] = (_EVICT, self.time, _NO_PROC)
             holders = self.sharers.get(vblock)
             if holders is not None:
                 holders.discard(proc)
@@ -371,7 +390,7 @@ class CoherenceSim:
                 self.invalidations += 1
                 if state == MODIFIED:
                     self.writebacks += 1
-                self.lost[(other, block)] = (_INVAL, self.time)
+                self.lost[(other, block)] = (_INVAL, self.time, proc)
             holders.discard(other)
 
     # -- driver -------------------------------------------------------------------
@@ -389,6 +408,7 @@ class CoherenceSim:
             per_proc=self.per_proc,
             fs_by_block=self.fs_by_block,
             miss_by_block=self.miss_by_block,
+            fs_pair_by_block=self.fs_pair_by_block,
             extra_refs=extra_refs,
             sim_seconds=sim_seconds,
             engine=engine,

@@ -52,6 +52,74 @@ def top_fs_structures(
     return ranked[:n]
 
 
+def attribute_fs_pairs(
+    result: SimResult, regions: RegionMap
+) -> dict[str, dict[tuple[int, int], int]]:
+    """Per-structure false-sharing misses broken down by processor pair.
+
+    The pair is ``(invalidating writer, missing processor)`` — who wrote
+    the block out from under whom.  Counts fold
+    ``SimResult.fs_pair_by_block`` through the region map, so the grand
+    total equals ``result.misses.false_sharing`` exactly.
+    """
+    bs = result.config.block_size
+    out: dict[str, dict[tuple[int, int], int]] = {}
+    for block, pairs in result.fs_pair_by_block.items():
+        name = regions.name_of(block * bs)
+        rec = out.setdefault(name, {})
+        for pair, count in pairs.items():
+            rec[pair] = rec.get(pair, 0) + count
+    return out
+
+
+@dataclass(slots=True)
+class BlockHotspot:
+    """One cache line's miss profile (a row of the heatmap table)."""
+
+    block: int
+    #: structures overlapping the line (layout view, not just misses)
+    names: tuple[str, ...]
+    misses: int
+    false_sharing: int
+    #: hottest (writer, misser) pair and its count, if any FS occurred
+    top_pair: tuple[int, int] | None = None
+    top_pair_count: int = 0
+
+    @property
+    def addr(self) -> int:
+        return self.block  # scaled by callers that know the block size
+
+
+def block_heatmap(
+    result: SimResult, regions: RegionMap, limit: int = 20
+) -> list[BlockHotspot]:
+    """The ``limit`` hottest cache lines by miss count, with the
+    structures they overlap and the dominant false-sharing pair."""
+    bs = result.config.block_size
+    rows: list[BlockHotspot] = []
+    ranked = sorted(
+        result.miss_by_block.items(), key=lambda kv: (-kv[1], kv[0])
+    )
+    for block, count in ranked[:limit]:
+        pairs = result.fs_pair_by_block.get(block, {})
+        top_pair, top_count = None, 0
+        if pairs:
+            top_pair, top_count = max(
+                pairs.items(), key=lambda kv: (kv[1], kv[0])
+            )
+        rows.append(
+            BlockHotspot(
+                block=block,
+                names=tuple(regions.names_in_range(block * bs, (block + 1) * bs)),
+                misses=count,
+                false_sharing=result.fs_by_block.get(block, 0),
+                top_pair=top_pair,
+                top_pair_count=top_count,
+            )
+        )
+    return rows
+
+
 def simulate_run(
     run: RunResult,
     block_size: int,

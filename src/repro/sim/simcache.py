@@ -21,6 +21,7 @@ from __future__ import annotations
 from collections import OrderedDict
 
 from repro import perf
+from repro.obs import spans as obs
 from repro.runtime.trace import Trace
 from repro.sim.cache import CacheConfig
 from repro.sim.coherence import SimResult
@@ -85,22 +86,29 @@ def cached_simulate(
         perf.add("sim_cache.hit")
         return got
     perf.add("sim_cache.miss")
-    if engine == REFERENCE:
-        with perf.timer("sim.reference"):
-            got = simulate_trace(
-                trace, nprocs, config,
-                extra_refs=extra_refs, word_invalidate=word_invalidate,
+    with obs.span(
+        "sim.simulate",
+        engine=engine,
+        nprocs=nprocs,
+        block_size=config.block_size,
+        refs=len(trace),
+    ):
+        if engine == REFERENCE:
+            with perf.timer("sim.reference"):
+                got = simulate_trace(
+                    trace, nprocs, config,
+                    extra_refs=extra_refs, word_invalidate=word_invalidate,
+                )
+        else:
+            events = cached_events(
+                trace, config.block_size, word_granularity=word_invalidate
             )
-    else:
-        events = cached_events(
-            trace, config.block_size, word_granularity=word_invalidate
-        )
-        with perf.timer("sim.fast"):
-            got = simulate_trace_fast(
-                trace, nprocs, config,
-                extra_refs=extra_refs, word_invalidate=word_invalidate,
-                events=events,
-            )
+            with perf.timer("sim.fast"):
+                got = simulate_trace_fast(
+                    trace, nprocs, config,
+                    extra_refs=extra_refs, word_invalidate=word_invalidate,
+                    events=events,
+                )
     _results[key] = got
     while len(_results) > MAX_RESULTS:
         _results.popitem(last=False)

@@ -1,0 +1,163 @@
+"""Miss-attribution tests: every simulated miss must fold to exactly one
+source-level structure, and a planted false-sharing pair must be
+pinpointed — structure, processors, and counts."""
+
+import numpy as np
+import pytest
+
+from repro.harness.pipeline import Pipeline
+from repro.obs.attribution import (
+    fs_table,
+    render_fs_table,
+    render_heatmap,
+    render_pair_breakdown,
+)
+from repro.runtime.trace import Trace
+from repro.sim import CacheConfig, simulate_trace
+
+from conftest import COUNTER_SRC
+
+#: Two workers hammering adjacent words of one array — a planted
+#: false-sharing pair with a known owner (`hot`) and known processors.
+PLANTED_SRC = """
+int hot[32];
+int pad[64];
+int done[8];
+
+void worker(int pid)
+{
+    int i;
+    for (i = 0; i < 200; i++) {
+        hot[pid] = hot[pid] + 1;
+    }
+    done[pid] = 1;
+}
+
+int main()
+{
+    int p;
+    for (p = 0; p < nprocs(); p++) {
+        create(worker, p);
+    }
+    wait_for_end();
+    print(hot[0] + hot[1]);
+    return 0;
+}
+"""
+
+
+@pytest.fixture(scope="module")
+def planted():
+    vr = Pipeline(PLANTED_SRC).execute(2)
+    sim = vr.simulate(128)
+    return vr, sim, vr.regions()
+
+
+class TestPlantedPair:
+    def test_planted_structure_gets_95_percent(self, planted):
+        _, sim, regions = planted
+        att = fs_table(sim, regions)
+        assert sim.misses.false_sharing > 100  # the ping-pong happened
+        hot = att.row("hot")
+        assert hot.false_sharing >= 0.95 * att.total_fs
+
+    def test_totals_are_exact(self, planted):
+        _, sim, regions = planted
+        att = fs_table(sim, regions)
+        assert sum(r.misses for r in att.rows) == sim.total_misses
+        assert sum(r.false_sharing for r in att.rows) == (
+            sim.misses.false_sharing
+        )
+        assert sum(
+            n for r in att.rows for n in r.pairs.values()
+        ) == sim.misses.false_sharing
+
+    def test_planted_pair_processors(self, planted):
+        _, sim, regions = planted
+        hot = fs_table(sim, regions).row("hot")
+        # only P0 and P1 exist; every ping-pong is between them
+        assert set(hot.pairs) <= {(0, 1), (1, 0)}
+        assert hot.top_pair in {(0, 1), (1, 0)}
+
+    def test_untouched_structure_has_no_false_sharing(self, planted):
+        _, sim, regions = planted
+        att = fs_table(sim, regions)
+        # `pad` is never referenced: no misses, so no row at all
+        with pytest.raises(KeyError):
+            att.row("pad")
+        assert all(r.name != "pad" for r in att.rows)
+
+
+class TestPairTags:
+    def test_synthetic_pingpong_pairs(self):
+        """Alternating writers on one block: the (writer, misser) tag of
+        each false-sharing miss names the invalidating processor."""
+        n = 12
+        trace = Trace(
+            proc=np.array([i % 2 for i in range(n)], dtype=np.int32),
+            addr=np.array([(i % 2) * 4 for i in range(n)], dtype=np.int64),
+            size=np.full(n, 4, dtype=np.int32),
+            is_write=np.ones(n, dtype=bool),
+        )
+        cfg = CacheConfig(size=1024, block_size=16, assoc=2)
+        sim = simulate_trace(trace, 2, cfg)
+        assert sim.misses.false_sharing == n - 2  # all but the 2 cold
+        (pairs,) = sim.fs_pair_by_block.values()
+        assert pairs == {(0, 1): (n - 2) // 2, (1, 0): (n - 2) // 2}
+
+    def test_eviction_misses_carry_no_pair(self):
+        """Replacement misses never appear in the pair tags."""
+        n = 8
+        # one processor cycling through 5 blocks in a 4-block cache
+        trace = Trace(
+            proc=np.zeros(5 * n, dtype=np.int32),
+            addr=np.array(
+                [16 * (i % 5) for i in range(5 * n)], dtype=np.int64
+            ),
+            size=np.full(5 * n, 4, dtype=np.int32),
+            is_write=np.zeros(5 * n, dtype=bool),
+        )
+        cfg = CacheConfig(size=64, block_size=16, assoc=1)
+        sim = simulate_trace(trace, 1, cfg)
+        assert sim.misses.replace > 0
+        assert sim.misses.false_sharing == 0
+        assert sim.fs_pair_by_block == {}
+
+
+class TestRendering:
+    def test_fs_table_shows_checked_totals(self, planted):
+        _, sim, regions = planted
+        text = render_fs_table(sim, regions)
+        assert "(= simulator totals)" in text
+        assert "hot" in text
+        total_line = next(
+            line for line in text.splitlines() if "TOTAL" in line
+        )
+        assert str(sim.total_misses) in total_line
+        assert str(sim.misses.false_sharing) in total_line
+
+    def test_fs_table_limit_keeps_accounting(self, planted):
+        _, sim, regions = planted
+        text = render_fs_table(sim, regions, limit=1)
+        assert "(other structures)" in text
+        assert "(= simulator totals)" in text
+
+    def test_pair_breakdown_names_processors(self, planted):
+        _, sim, regions = planted
+        text = render_pair_breakdown(sim, regions)
+        assert "P0→P1" in text or "P1→P0" in text
+
+    def test_heatmap_lists_residents(self, planted):
+        _, sim, regions = planted
+        text = render_heatmap(sim, regions)
+        assert "hot" in text and "cache-line heatmap" in text
+
+    def test_counter_kernel_attribution(self):
+        """The canonical counter kernel: `counter`/`sums` dominate the
+        false sharing and the fold is exact at 8 procs too."""
+        vr = Pipeline(COUNTER_SRC).execute(8)
+        sim = vr.simulate(128)
+        att = fs_table(sim, vr.regions())  # internal asserts do the work
+        hot = att.rows[0]
+        assert hot.name in {"counter", "sums", "total", "biglock"}
+        assert att.total_fs == sim.misses.false_sharing

@@ -1,10 +1,21 @@
 """CLI tests (python -m repro)."""
 
+import re
+
 import pytest
 
 from repro.cli import main
+from repro.obs import spans as obs
 
 from conftest import COUNTER_SRC
+
+
+@pytest.fixture(autouse=True)
+def _obs_reset():
+    """--profile flips global tracing on; restore it per test."""
+    yield
+    obs.reset()
+    obs.disable()
 
 
 @pytest.fixture()
@@ -68,3 +79,82 @@ class TestCLI:
 
     def test_block_size_option(self, src_file, capsys):
         assert main(["simulate", src_file, "-p", "4", "-b", "32"]) == 0
+
+    def test_workload_name_accepted_as_file(self, capsys):
+        assert main(["analyze", "Pverify", "-p", "2"]) == 0
+        assert "TransformPlan" in capsys.readouterr().out
+
+    def test_unknown_workload_rejected(self):
+        with pytest.raises(SystemExit, match="neither a file"):
+            main(["analyze", "NoSuchProgram", "-p", "2"])
+
+
+class TestProfilingCLI:
+    def test_simulate_profile_emits_exact_table_and_trace(
+        self, src_file, tmp_path, capsys
+    ):
+        """The PR's acceptance check: --profile --trace-out produces a
+        valid Chrome trace and an FS table summing to simulator totals."""
+        from repro.obs.chrome import validate_trace_file
+
+        out = tmp_path / "trace.json"
+        assert main(
+            ["simulate", src_file, "-p", "4",
+             "--profile", "--trace-out", str(out)]
+        ) == 0
+        text = capsys.readouterr().out
+        assert "per-structure miss attribution" in text
+        assert "(= simulator totals)" in text
+        assert "span tree" in text
+        # totals row of each table equals the simulator's reported misses
+        reported = re.findall(r"misses\s+(\d+)", text)
+        totals = re.findall(r"TOTAL\s+(\d+)", text)
+        assert totals == reported
+        assert validate_trace_file(out) > 0
+
+    def test_profile_command(self, src_file, capsys):
+        assert main(["profile", src_file, "-p", "4"]) == 0
+        text = capsys.readouterr().out
+        assert "span tree" in text
+        assert "cache-line heatmap" in text
+        assert "false-sharing processor pairs" in text
+        assert "analysis covers" in text
+
+    def test_profile_writes_manifest(
+        self, src_file, tmp_path, monkeypatch, capsys
+    ):
+        import json
+
+        log = tmp_path / "runs.jsonl"
+        monkeypatch.setenv("REPRO_RUN_LOG", str(log))
+        assert main(["profile", src_file, "-p", "4"]) == 0
+        recs = [
+            json.loads(line) for line in log.read_text().splitlines()
+        ]
+        assert [r["workload"] for r in recs] == ["prog/N", "prog/C"]
+        assert all(r["misses"]["false"] >= 0 for r in recs)
+        assert all(r["spans"] for r in recs)
+
+    def test_workloads_stats(self, tmp_path, monkeypatch, capsys):
+        from repro.obs import manifest
+
+        log = tmp_path / "runs.jsonl"
+        monkeypatch.setenv("REPRO_RUN_LOG", str(log))
+        manifest.record(
+            manifest.build_record(
+                kind="profile", workload="Maxflow/N", source="x",
+                plan_desc="natural", nprocs=4, block_size=128,
+                trace_len=12345,
+                extra={"wall_seconds": 1.25},
+            )
+        )
+        assert main(["workloads", "--stats"]) == 0
+        text = capsys.readouterr().out
+        assert "Workload statistics" in text
+        row = next(
+            line for line in text.splitlines()
+            if line.startswith("Maxflow") and "12,345" in line
+        )
+        assert "1.25s" in row
+        # never-recorded workloads render as dashes, not zeros
+        assert re.search(r"Water.*—", text)

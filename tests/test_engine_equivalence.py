@@ -34,6 +34,12 @@ def assert_equivalent(fast, ref):
     assert fast.refs == ref.refs
     assert fast.fs_by_block == ref.fs_by_block
     assert fast.miss_by_block == ref.miss_by_block
+    assert fast.fs_pair_by_block == ref.fs_pair_by_block
+    # Pair tags are a partition of the false-sharing misses.
+    folded = sum(
+        n for pairs in ref.fs_pair_by_block.values() for n in pairs.values()
+    )
+    assert folded == ref.misses.false_sharing
 
 
 def make_trace(events):

@@ -1,0 +1,297 @@
+"""Observability layer tests: span tracing, Chrome trace export, run
+manifests, and the parallel lab's counter/span merging."""
+
+import json
+
+import pytest
+
+from repro import perf
+from repro.obs import chrome, manifest
+from repro.obs import spans as obs
+
+
+@pytest.fixture()
+def tracing():
+    """Span tracing on for one test, fully restored afterwards."""
+    obs.enable()
+    obs.reset()
+    yield
+    obs.reset()
+    obs.disable()
+
+
+# ---------------------------------------------------------------------------
+# spans
+# ---------------------------------------------------------------------------
+
+
+class TestSpans:
+    def test_disabled_is_noop(self):
+        obs.disable()
+        obs.reset()
+        with obs.span("nope", detail=1) as sp:
+            assert sp is None
+        assert obs.roots() == []
+
+    def test_nesting_and_duration(self, tracing):
+        with obs.span("outer", kind="test"):
+            with obs.span("inner.a"):
+                pass
+            with obs.span("inner.b"):
+                pass
+        roots = obs.roots()
+        assert [r.name for r in roots] == ["outer"]
+        assert [c.name for c in roots[0].children] == ["inner.a", "inner.b"]
+        assert roots[0].dur >= sum(c.dur for c in roots[0].children) >= 0.0
+        assert roots[0].meta == {"kind": "test"}
+
+    def test_counter_deltas(self, tracing):
+        perf.reset()
+        perf.add("outside", 7)
+        with obs.span("stage"):
+            perf.add("inside", 3)
+        (sp,) = obs.roots()
+        assert sp.counters == {"inside": 3.0}
+
+    def test_exception_recorded_and_stack_popped(self, tracing):
+        with pytest.raises(ValueError):
+            with obs.span("boom"):
+                raise ValueError("x")
+        (sp,) = obs.roots()
+        assert sp.meta["error"] == "ValueError"
+        with obs.span("after"):
+            pass
+        assert [r.name for r in obs.roots()] == ["boom", "after"]
+
+    def test_snapshot_roundtrip(self, tracing):
+        with obs.span("root", n=1):
+            with obs.span("child"):
+                pass
+        snap = obs.span_snapshot()
+        assert json.loads(json.dumps(snap)) == snap  # picklable/JSON-able
+        sp = obs.Span.from_dict(snap[0])
+        assert sp.name == "root" and sp.children[0].name == "child"
+
+    def test_attach_worker_spans(self, tracing):
+        with obs.span("w"):
+            with obs.span("w.inner"):
+                pass
+        snap = obs.span_snapshot()
+        obs.reset()
+        obs.attach_worker_spans("worker[0]:Pverify/N/2", snap)
+        (sp,) = obs.roots()
+        assert sp.worker == "worker[0]:Pverify/N/2"
+        assert sp.children[0].worker == sp.worker
+        tree = obs.render_tree()
+        assert "worker[0]:Pverify/N/2:w" in tree
+        # children show the bare name (the lane is inherited)
+        assert "worker[0]:Pverify/N/2:w.inner" not in tree
+
+    def test_render_tree_and_timings(self, tracing):
+        with obs.span("a", note="hi"):
+            with obs.span("b"):
+                pass
+        with obs.span("b"):
+            pass
+        tree = obs.render_tree()
+        assert "a" in tree and "└─ b" in tree and "(note=hi)" in tree
+        flat = obs.flat_timings()
+        assert set(flat) == {"a", "b"}
+        assert obs.total_seconds() >= flat["a"]
+
+    def test_render_tree_empty(self, tracing):
+        assert "no spans recorded" in obs.render_tree()
+
+    def test_enable_exports_env(self, tracing, monkeypatch):
+        import os
+
+        assert os.environ.get(obs.PROFILE_ENV) == "1"
+        obs.disable()
+        assert obs.PROFILE_ENV not in os.environ
+
+
+# ---------------------------------------------------------------------------
+# chrome trace export
+# ---------------------------------------------------------------------------
+
+
+class TestChromeTrace:
+    def test_export_validates(self, tracing, tmp_path):
+        with obs.span("root", nprocs=2):
+            with obs.span("child"):
+                perf.add("c", 1)
+        obj = chrome.to_trace_events()
+        assert chrome.validate_trace(obj) == len(obj["traceEvents"])
+        names = [e["name"] for e in obj["traceEvents"]]
+        assert "root" in names and "child" in names and "process_name" in names
+        out = tmp_path / "trace.json"
+        assert chrome.write_trace(out) == len(obj["traceEvents"])
+        assert chrome.validate_trace_file(out) == len(obj["traceEvents"])
+
+    def test_worker_lanes_get_distinct_pids(self, tracing):
+        with obs.span("local"):
+            pass
+        snap = obs.span_snapshot()
+        obs.attach_worker_spans("worker[0]", snap)
+        obs.attach_worker_spans("worker[1]", snap)
+        obj = chrome.to_trace_events()
+        pids = {
+            e["pid"] for e in obj["traceEvents"] if e["ph"] == "X"
+        }
+        assert pids == {0, 1, 2}
+        lane_names = {
+            e["args"]["name"]
+            for e in obj["traceEvents"]
+            if e["ph"] == "M"
+        }
+        assert {"repro", "worker[0]", "worker[1]"} <= lane_names
+
+    @pytest.mark.parametrize(
+        "obj",
+        [
+            [],
+            {},
+            {"traceEvents": []},
+            {"traceEvents": [{"name": "", "ph": "X", "pid": 0, "tid": 0}]},
+            {"traceEvents": [{"name": "a", "ph": "Q", "pid": 0, "tid": 0}]},
+            {"traceEvents": [{"name": "a", "ph": "X", "pid": "x", "tid": 0}]},
+            {
+                "traceEvents": [
+                    {"name": "a", "ph": "X", "pid": 0, "tid": 0,
+                     "ts": -1, "dur": 0}
+                ]
+            },
+        ],
+    )
+    def test_validate_rejects_malformed(self, obj):
+        with pytest.raises(ValueError):
+            chrome.validate_trace(obj)
+
+    def test_validate_file_rejects_non_json(self, tmp_path):
+        bad = tmp_path / "bad.json"
+        bad.write_text("{nope")
+        with pytest.raises(ValueError):
+            chrome.validate_trace_file(bad)
+
+    def test_default_trace_out_env(self, monkeypatch):
+        monkeypatch.delenv(chrome.TRACE_OUT_ENV, raising=False)
+        assert chrome.default_trace_out() is None
+        monkeypatch.setenv(chrome.TRACE_OUT_ENV, "/tmp/t.json")
+        assert str(chrome.default_trace_out()) == "/tmp/t.json"
+
+
+# ---------------------------------------------------------------------------
+# run manifests
+# ---------------------------------------------------------------------------
+
+
+def _record(workload="Pverify", **kw):
+    defaults = dict(
+        kind="test",
+        workload=workload,
+        source="int main() { return 0; }",
+        plan_desc="natural",
+        nprocs=2,
+        block_size=128,
+        refs=100,
+        trace_len=80,
+        misses={"cold": 1, "replace": 0, "true": 2, "false": 3},
+        fs_by_structure={"counter": 3},
+        perf_snapshot={"trace_cache.hit": 1.0, "secret.counter": 9.0},
+        span_timings={"pipeline.execute": 0.25},
+    )
+    defaults.update(kw)
+    return manifest.build_record(**defaults)
+
+
+class TestManifest:
+    def test_build_record_shape(self):
+        rec = _record(extra={"wall_seconds": 1.5})
+        assert rec["schema"] == manifest.SCHEMA
+        assert rec["source_sha256"] == manifest.source_hash(
+            "int main() { return 0; }"
+        )
+        assert rec["misses"]["false"] == 3
+        assert rec["spans"] == {"pipeline.execute": 0.25}
+        assert rec["wall_seconds"] == 1.5
+        # perf counters are filtered to the persisted allowlist
+        assert rec["perf"] == {"trace_cache.hit": 1.0}
+        json.dumps(rec)  # must be JSON-serializable as-is
+
+    def test_record_disabled_without_env(self, monkeypatch):
+        monkeypatch.delenv(manifest.RUN_LOG_ENV, raising=False)
+        assert manifest.log_path() is None
+        assert manifest.record(_record()) is None
+        monkeypatch.setenv(manifest.RUN_LOG_ENV, "off")
+        assert manifest.log_path() is None
+
+    def test_append_and_read(self, tmp_path, monkeypatch):
+        log = tmp_path / "runs.jsonl"
+        monkeypatch.setenv(manifest.RUN_LOG_ENV, str(log))
+        assert manifest.record(_record(workload="A")) == log
+        assert manifest.record(_record(workload="B")) == log
+        recs = manifest.read_all()
+        assert [r["workload"] for r in recs] == ["A", "B"]
+
+    def test_read_skips_corrupt_lines(self, tmp_path):
+        log = tmp_path / "runs.jsonl"
+        log.write_text(
+            json.dumps(_record(workload="A")) + "\n"
+            + "{truncated...\n"
+            + "[1, 2]\n"
+            + json.dumps(_record(workload="B")) + "\n"
+        )
+        recs = manifest.read_all(log)
+        assert [r["workload"] for r in recs] == ["A", "B"]
+
+    def test_last_for_ignores_version_suffix(self, tmp_path, monkeypatch):
+        log = tmp_path / "runs.jsonl"
+        monkeypatch.setenv(manifest.RUN_LOG_ENV, str(log))
+        manifest.record(_record(workload="Maxflow/N", refs=1))
+        manifest.record(_record(workload="Maxflow/C", refs=2))
+        manifest.record(_record(workload="Water", refs=3))
+        assert manifest.last_for("maxflow")["refs"] == 2
+        assert manifest.last_for("Water")["refs"] == 3
+        assert manifest.last_for("Pthor") is None
+
+
+# ---------------------------------------------------------------------------
+# parallel lab merging (regression: worker counters must never be lost)
+# ---------------------------------------------------------------------------
+
+
+class TestParallelMerge:
+    def test_worker_counters_and_spans_merged(self, tracing, monkeypatch):
+        from repro.harness.parallel import run_points
+
+        monkeypatch.setenv("REPRO_JOBS", "2")
+        perf.reset()
+        points = [("Pverify", "N", 2), ("Pverify", "C", 2)]
+        out = run_points(points, 128)
+        assert set(out) == set(points)
+        snap = perf.snapshot()
+        assert snap.get("parallel.points") == 2.0
+        # every worker's interpreter counters came back to the parent
+        assert snap.get("worker.interp.runs", 0) + snap.get(
+            "worker.trace_cache.hit", 0
+        ) >= 2.0
+        labels = [sp.worker for sp in obs.roots()]
+        # grid order: all of worker 0's roots, then all of worker 1's
+        assert sorted(set(labels), key=labels.index) == [
+            "worker[0]:Pverify/N/2",
+            "worker[1]:Pverify/C/2",
+        ]
+
+    def test_one_bad_point_keeps_the_rest(self, monkeypatch):
+        from repro.harness.parallel import run_points
+
+        monkeypatch.setenv("REPRO_JOBS", "2")
+        perf.reset()
+        points = [("Pverify", "Z", 2), ("Pverify", "N", 2)]
+        out = run_points(points, 128)
+        assert set(out) == {("Pverify", "N", 2)}
+        snap = perf.snapshot()
+        assert snap.get("parallel.point_failed") == 1.0
+        assert snap.get("parallel.points") == 1.0
+        # the surviving worker's counters were still merged
+        assert any(k.startswith("worker.") for k in snap)

@@ -133,8 +133,68 @@ class TestTraceCache:
         monkeypatch.setenv("REPRO_TRACE_CACHE", str(tmp_path))
         key = trace_cache.run_key("s", "p", 2, 128, 4, 100)
         (tmp_path / f"{key}.npz").write_bytes(b"not an npz")
+        perf.reset()
         assert trace_cache.load_run(key) is None
+        assert perf.get("trace_cache.corrupt") == 1.0
         assert not (tmp_path / f"{key}.npz").exists()
+
+    def test_truncated_entry_recomputed(self, tmp_path, monkeypatch):
+        """A half-written .npz falls back to recomputation, not a crash."""
+        monkeypatch.setenv("REPRO_TRACE_CACHE", str(tmp_path))
+        monkeypatch.setenv("REPRO_TRACE_CACHE_MIN", "1")
+        _, vr = small_run()
+        key = trace_cache.run_key("src", "plan", 2, 128, 4, 100)
+        assert trace_cache.store_run(key, vr.run)
+        path = tmp_path / f"{key}.npz"
+        blob = path.read_bytes()
+        path.write_bytes(blob[: len(blob) // 2])
+        perf.reset()
+        assert trace_cache.load_run(key) is None
+        assert perf.get("trace_cache.corrupt") == 1.0
+        assert not path.exists()  # the bad entry is gone for good
+        # and a fresh store round-trips again
+        assert trace_cache.store_run(key, vr.run)
+        assert trace_cache.load_run(key) is not None
+
+    def test_stale_key_collision_detected(self, tmp_path, monkeypatch):
+        """An entry stored under one key must never satisfy another key
+        (file renames / hash-prefix reuse): entries echo their own key
+        and the echo is checked on load."""
+        monkeypatch.setenv("REPRO_TRACE_CACHE", str(tmp_path))
+        monkeypatch.setenv("REPRO_TRACE_CACHE_MIN", "1")
+        _, vr = small_run()
+        key_a = trace_cache.run_key("src-a", "plan", 2, 128, 4, 100)
+        key_b = trace_cache.run_key("src-b", "plan", 2, 128, 4, 100)
+        assert trace_cache.store_run(key_a, vr.run)
+        # masquerade A's payload as B's entry
+        (tmp_path / f"{key_b}.npz").write_bytes(
+            (tmp_path / f"{key_a}.npz").read_bytes()
+        )
+        perf.reset()
+        assert trace_cache.load_run(key_b) is None
+        assert perf.get("trace_cache.corrupt") == 1.0
+        # the honest entry is untouched
+        assert trace_cache.load_run(key_a) is not None
+
+    def test_missing_meta_fields_rejected(self, tmp_path, monkeypatch):
+        """Entries from an older layout (no key echo) are recomputed."""
+        import json
+
+        monkeypatch.setenv("REPRO_TRACE_CACHE", str(tmp_path))
+        monkeypatch.setenv("REPRO_TRACE_CACHE_MIN", "1")
+        _, vr = small_run()
+        key = trace_cache.run_key("src", "plan", 2, 128, 4, 100)
+        assert trace_cache.store_run(key, vr.run)
+        path = tmp_path / f"{key}.npz"
+        with np.load(path, allow_pickle=False) as z:
+            data = {name: z[name] for name in z.files}
+        meta = json.loads(bytes(data["meta"]).decode())
+        del meta["key"]
+        data["meta"] = np.frombuffer(json.dumps(meta).encode(), dtype=np.uint8)
+        np.savez(path, **data)
+        perf.reset()
+        assert trace_cache.load_run(key) is None
+        assert perf.get("trace_cache.corrupt") == 1.0
 
     def test_key_sensitivity(self):
         k = trace_cache.run_key("s", "p", 2, 128, 4, 100)
