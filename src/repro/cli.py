@@ -37,6 +37,7 @@ from pathlib import Path
 
 from repro import obs, perf
 from repro.analysis import analyze_program, rsd_prediction_diff
+from repro.errors import ReproError
 from repro.harness import (
     Pipeline,
     WorkloadLab,
@@ -362,6 +363,80 @@ def cmd_experiments(args) -> int:
     return 0
 
 
+def _parse_budget(raw: str) -> float:
+    """Seconds from ``60``, ``60s``, or ``2m``."""
+    s = raw.strip().lower()
+    mult = 1.0
+    if s.endswith("m"):
+        mult, s = 60.0, s[:-1]
+    elif s.endswith("s"):
+        s = s[:-1]
+    try:
+        return float(s) * mult
+    except ValueError:
+        raise SystemExit(f"repro: bad --budget {raw!r} (try 60s or 2m)") from None
+
+
+def cmd_verify(args) -> int:
+    from repro.runtime import trace_cache
+    from repro.verify import invariants, save_failures
+    from repro.verify.fuzz import fuzz as run_fuzz
+    from repro.verify.oracle import check_program
+
+    if args.trace:
+        # invariant-check a stored trace entry named explicitly
+        run = trace_cache.load_file(args.trace)
+        violations = invariants.check_trace(run.trace, run.nprocs)
+        print(
+            f"trace {args.trace}: {len(run.trace)} refs, "
+            f"{run.nprocs} procs"
+        )
+        for v in violations:
+            print(f"  {v}")
+        print("invariants: " + ("FAILED" if violations else "ok"))
+        return 1 if violations else 0
+
+    if args.file:
+        # oracle + invariants over one explicit program
+        label, source = _resolve_source(args.file)
+        checked = compile_source(source, filename=label)
+        verdicts, base_run = check_program(checked, args.nprocs)
+        for v in verdicts:
+            print(v)
+        violations = invariants.check_trace(base_run.trace, args.nprocs)
+        for v in violations:
+            print(f"invariant: {v}")
+        failed = violations or [v for v in verdicts if not v.ok]
+        print(f"{label}: " + ("FAILED" if failed else "all versions agree"))
+        return 1 if failed else 0
+
+    budget = _parse_budget(args.budget)
+
+    def progress(rep):
+        if args.verbose:
+            print(
+                f"  {rep.programs} programs, {rep.plans} plan-checks...",
+                file=sys.stderr,
+            )
+
+    report = run_fuzz(
+        seed=args.seed,
+        budget=budget,
+        nprocs=args.nprocs,
+        count=args.count,
+        jobs=args.jobs,
+        progress=progress,
+    )
+    print(report.summary())
+    for f in report.failures:
+        print()
+        print(f.describe())
+    if report.failures and args.out:
+        for path in save_failures(report, args.out):
+            print(f"[counterexample -> {path}]", file=sys.stderr)
+    return 0 if report.ok else 1
+
+
 def cmd_workloads(args) -> int:
     print(render_table1(table1()))
     if not getattr(args, "stats", False):
@@ -450,6 +525,42 @@ def build_parser() -> argparse.ArgumentParser:
     profiled(p)
     p.set_defaults(func=cmd_experiments)
 
+    p = sub.add_parser(
+        "verify",
+        help="differential validation: fuzz the transform/simulator stack",
+    )
+    p.add_argument(
+        "file", nargs="?", default=None,
+        help="verify one source file / workload instead of fuzzing",
+    )
+    p.add_argument("-p", "--nprocs", type=int, default=4)
+    p.add_argument("-v", "--verbose", action="store_true")
+    p.add_argument(
+        "--seed", type=int, default=0,
+        help="base seed for generated programs (default 0)",
+    )
+    p.add_argument(
+        "--budget", default="60s",
+        help="fuzzing time budget, e.g. 30s or 2m (default 60s)",
+    )
+    p.add_argument(
+        "--count", type=int, default=None,
+        help="check exactly this many programs (overrides --budget)",
+    )
+    p.add_argument(
+        "--jobs", type=int, default=1,
+        help="fuzz seeds in parallel worker processes",
+    )
+    p.add_argument(
+        "--out", metavar="DIR", default=None,
+        help="write minimized counterexamples under DIR on failure",
+    )
+    p.add_argument(
+        "--trace", metavar="FILE.npz", default=None,
+        help="invariant-check one stored trace-cache entry",
+    )
+    p.set_defaults(func=cmd_verify)
+
     p = sub.add_parser("workloads", help="list the benchmark suite")
     p.add_argument(
         "--stats", action="store_true",
@@ -463,7 +574,13 @@ def build_parser() -> argparse.ArgumentParser:
 def main(argv: list[str] | None = None) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
-    return args.func(args)
+    try:
+        return args.func(args)
+    except ReproError as e:
+        # Every pipeline stage raises a ReproError subclass; a bad input
+        # earns a one-line diagnostic, never a traceback.
+        print(f"repro: {e}", file=sys.stderr)
+        return 2
 
 
 if __name__ == "__main__":  # pragma: no cover

@@ -111,6 +111,7 @@ def run_points(
     points: Sequence[Point],
     block_size: int,
     jobs: Optional[int] = None,
+    failures: Optional[dict[Point, str]] = None,
 ) -> dict[Point, "RunResult"]:
     """Interpret ``points`` with up to ``jobs`` worker processes.
 
@@ -122,7 +123,9 @@ def run_points(
     Worker perf-counter and span snapshots are merged back into the
     parent for **every** completed point, even when another point (or
     the pool itself) fails mid-collection — a worker's cache and timing
-    statistics must never be silently dropped.
+    statistics must never be silently dropped.  A failing point is
+    recorded in ``failures`` (point -> exception text) when the caller
+    passes a dict; every other point still yields its result.
     """
     jobs = default_jobs() if jobs is None else jobs
     jobs = min(jobs, len(points))
@@ -139,8 +142,10 @@ def run_points(
             for i, (point, fut) in enumerate(futures):
                 try:
                     run, counters, spans = fut.result()
-                except Exception:  # one bad point must not lose the rest
+                except Exception as e:  # one bad point must not lose the rest
                     perf.add("parallel.point_failed")
+                    if failures is not None:
+                        failures[point] = f"{type(e).__name__}: {e}"
                     continue
                 out[point] = run
                 perf.merge(
@@ -153,4 +158,57 @@ def run_points(
         perf.add("parallel.pool_failed")
         return out
     perf.add("parallel.points", len(out))
+    return out
+
+
+def map_tasks(
+    fn,
+    argslist: Sequence[tuple],
+    jobs: Optional[int] = None,
+    failures: Optional[dict[int, str]] = None,
+) -> dict[int, object]:
+    """Generic fan-out: apply picklable ``fn`` to each argument tuple.
+
+    Returns ``index -> result`` for every task that completed; a task
+    that raises is recorded in ``failures`` (index -> exception text)
+    and never disturbs its siblings.  ``jobs <= 1`` (or a single task)
+    runs serially with identical failure semantics, so callers get one
+    behaviour regardless of pool availability; a pool that cannot start
+    at all also degrades to the serial path.
+    """
+    jobs = default_jobs() if jobs is None else jobs
+    jobs = min(jobs, len(argslist))
+    out: dict[int, object] = {}
+
+    def _serial() -> dict[int, object]:
+        for i, task_args in enumerate(argslist):
+            if i in out:
+                continue
+            try:
+                out[i] = fn(*task_args)
+            except Exception as e:
+                perf.add("parallel.task_failed")
+                if failures is not None:
+                    failures[i] = f"{type(e).__name__}: {e}"
+        return out
+
+    if jobs <= 1 or len(argslist) <= 1:
+        return _serial()
+    try:
+        with ProcessPoolExecutor(max_workers=jobs) as pool:
+            futures = [
+                (i, pool.submit(fn, *task_args))
+                for i, task_args in enumerate(argslist)
+            ]
+            for i, fut in futures:
+                try:
+                    out[i] = fut.result()
+                except Exception as e:
+                    perf.add("parallel.task_failed")
+                    if failures is not None:
+                        failures[i] = f"{type(e).__name__}: {e}"
+    except (OSError, RuntimeError):  # broken pool: finish serially
+        perf.add("parallel.pool_failed")
+        return _serial()
+    perf.add("parallel.tasks", len(out))
     return out

@@ -55,6 +55,13 @@ def _round_up(n: int, align: int) -> int:
     return (n + align - 1) // align * align
 
 
+def _verify_break() -> str:
+    """Value of the test-only layout-sabotage flag (see _build_globals)."""
+    import os
+
+    return os.environ.get("REPRO_VERIFY_BREAK", "").strip()
+
+
 #: A concrete access step: ("idx", i) or ("field", name).
 Step = tuple[str, object]
 
@@ -192,6 +199,12 @@ class DataLayout:
 
     def _build_globals(self) -> None:
         bs = self.block_size
+        # Test-only fault injection: REPRO_VERIFY_BREAK=pad_align
+        # deliberately under-sizes every padded allocation so the next
+        # global overlaps its tail.  The differential-validation oracle
+        # (repro.verify) must catch the resulting corruption; nothing
+        # else may ever set this.
+        broken_pad = _verify_break() == "pad_align"
         cursor = GLOBALS_BASE
         for g in self.checked.program.globals:
             ty = g.type
@@ -207,6 +220,8 @@ class DataLayout:
                     size = ty.nelems * elem_stride
                 else:
                     size = _round_up(self.sizeof(ty), bs)
+                if broken_pad:
+                    size = max(size - bs, 4)
             else:
                 align = self.alignof(ty)
                 cursor = _round_up(cursor, align)

@@ -173,6 +173,38 @@ def load_run(key: str) -> RunResult | None:
     return run
 
 
+def load_file(path: str | Path) -> RunResult:
+    """Decode one explicitly named cache entry, validating its shape.
+
+    Unlike :func:`load_run` — where corruption silently falls back to
+    re-interpretation — an explicit file is the user's input, so any
+    deformity raises a :class:`~repro.errors.ReproError` with the
+    reason (the ``repro verify --trace`` path turns it into a one-line
+    diagnostic).  The key echo is checked for presence, not value: the
+    caller names the file directly rather than deriving it from run
+    inputs.
+    """
+    from repro.errors import ReproError
+
+    p = Path(path)
+    if not p.exists():
+        raise ReproError(f"trace file {p} does not exist")
+    try:
+        with np.load(p, allow_pickle=False) as z:
+            meta = json.loads(bytes(z["meta"]).decode())
+            missing = [f for f in _REQUIRED_META if f not in meta]
+            if missing:
+                raise ValueError(f"metadata missing fields {missing}")
+            return _validated_run(z, meta["key"])
+    except ReproError:
+        raise
+    except Exception as e:
+        raise ReproError(
+            f"trace file {p} is not a usable cache entry "
+            f"({type(e).__name__}: {e})"
+        ) from e
+
+
 def store_run(key: str, run: RunResult) -> bool:
     """Persist ``run`` under ``key``; returns True when written."""
     path = _path_for(key)

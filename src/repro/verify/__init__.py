@@ -1,0 +1,49 @@
+"""Differential validation: the machinery that checks the repro stack
+against itself.
+
+Three legs, all driven by the same generated programs:
+
+* :mod:`repro.verify.oracle` — semantic equivalence: a program run
+  under any transform plan must observe exactly what the natural
+  layout observes (output, exit code, final shared state addressed
+  logically);
+* :mod:`repro.verify.progen` — a seeded random generator for the
+  supported C subset, with structural shrinking of failures;
+* :mod:`repro.verify.invariants` — metamorphic properties of the
+  coherence simulators (FS = 0 at word-sized blocks, miss-class
+  conservation, cold misses = first touches, fast engine ≡ reference).
+
+:mod:`repro.verify.fuzz` loops the three under a time budget (the
+``repro verify`` command); :mod:`repro.verify.golden` pins three
+workloads' full miss breakdowns as checked-in JSON snapshots.
+"""
+
+# NOTE: the fuzz *function* is deliberately not re-exported at package
+# level — it would shadow the ``repro.verify.fuzz`` submodule attribute.
+# Import it as ``from repro.verify.fuzz import fuzz``.
+from repro.verify.fuzz import FuzzFailure, FuzzReport, save_failures
+from repro.verify.invariants import check_trace
+from repro.verify.oracle import (
+    ObservedState,
+    Verdict,
+    candidate_plans,
+    check_program,
+    observe,
+)
+from repro.verify.progen import ProgramSpec, generate, render, shrink
+
+__all__ = [
+    "FuzzFailure",
+    "FuzzReport",
+    "save_failures",
+    "check_trace",
+    "ObservedState",
+    "Verdict",
+    "candidate_plans",
+    "check_program",
+    "observe",
+    "ProgramSpec",
+    "generate",
+    "render",
+    "shrink",
+]

@@ -1,0 +1,149 @@
+"""Metamorphic / invariant checks for the coherence simulators.
+
+Every property here is something the paper's miss classification makes
+*provable*, independent of which program produced the trace:
+
+* **word-granularity kills false sharing** — at 4-byte (one-word)
+  blocks every invalidation that causes a later miss must have written
+  the very word missed on, so the miss classifies as true sharing;
+  ``false_sharing == 0`` whenever ``block_size == WORD``;
+* **miss classes partition the misses** — cold + replace + true +
+  false equals the total, per processor and in aggregate, and the
+  per-block / per-pair breakdowns re-sum to the class totals;
+* **cold misses count first touches** — exactly one cold miss per
+  distinct (processor, block) pair referenced in the trace;
+* **engine equivalence** — the vectorized fast engine and the
+  reference simulator agree event-for-event on every counter.
+
+Violations are returned as plain strings (empty list = all good) so
+the fuzzer can fold them into a verdict alongside the oracle's.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.runtime.trace import Trace
+from repro.sim.coherence import WORD, CacheConfig, SimResult, simulate_trace
+from repro.sim.engine import simulate_trace_fast
+
+#: Block sizes exercised per generated program (word-size block first —
+#: that one carries the FS==0 proof obligation).
+DEFAULT_BLOCK_SIZES = (4, 32, 128)
+
+
+def distinct_proc_blocks(trace: Trace, block_size: int) -> int:
+    """Number of distinct (processor, block) pairs the trace touches,
+    counting every block a straddling reference spills into."""
+    if len(trace) == 0:
+        return 0
+    addr = trace.addr.astype(np.int64)
+    proc = trace.proc.astype(np.int64)
+    size = trace.size.astype(np.int64)
+    lo = addr // block_size
+    hi = (addr + size - 1) // block_size
+    pairs = {p for p in zip(proc.tolist(), lo.tolist())}
+    span = hi > lo
+    if span.any():
+        for p, a, b in zip(
+            proc[span].tolist(), lo[span].tolist(), hi[span].tolist()
+        ):
+            for blk in range(a, b + 1):
+                pairs.add((p, blk))
+    return len(pairs)
+
+
+def _compare_results(a: SimResult, b: SimResult, label: str) -> list[str]:
+    """Field-by-field disagreement between two SimResults."""
+    out: list[str] = []
+    if a.misses.as_tuple() != b.misses.as_tuple():
+        out.append(
+            f"{label}: miss classes {a.misses.as_tuple()} vs {b.misses.as_tuple()}"
+        )
+    for name in ("refs", "invalidations", "writebacks", "upgrades"):
+        va, vb = getattr(a, name), getattr(b, name)
+        if va != vb:
+            out.append(f"{label}: {name} {va} vs {vb}")
+    pa = {p: a.per_proc[p].as_tuple() for p in a.per_proc}
+    pb = {p: b.per_proc[p].as_tuple() for p in b.per_proc}
+    if pa != pb:
+        diffs = [p for p in pa if pa[p] != pb.get(p)]
+        out.append(f"{label}: per-proc misses differ on procs {diffs}")
+    if dict(a.fs_by_block) != dict(b.fs_by_block):
+        out.append(f"{label}: fs_by_block differs")
+    if dict(a.miss_by_block) != dict(b.miss_by_block):
+        out.append(f"{label}: miss_by_block differs")
+    if {k: dict(v) for k, v in a.fs_pair_by_block.items()} != {
+        k: dict(v) for k, v in b.fs_pair_by_block.items()
+    }:
+        out.append(f"{label}: fs_pair_by_block differs")
+    return out
+
+
+def check_result_internal(res: SimResult, trace: Trace, label: str) -> list[str]:
+    """Self-consistency of one simulation result."""
+    out: list[str] = []
+    m = res.misses
+    if m.total != m.cold + m.replace + m.true_sharing + m.false_sharing:
+        out.append(f"{label}: miss classes do not sum to total")
+    agg = [0, 0, 0, 0]
+    for p in res.per_proc:  # includes pid -1, the serial parent
+        for i, v in enumerate(res.per_proc[p].as_tuple()):
+            agg[i] += v
+    if tuple(agg) != m.as_tuple():
+        out.append(
+            f"{label}: per-proc misses sum to {tuple(agg)}, global {m.as_tuple()}"
+        )
+    if sum(res.fs_by_block.values()) != m.false_sharing:
+        out.append(
+            f"{label}: fs_by_block sums to {sum(res.fs_by_block.values())}, "
+            f"false_sharing is {m.false_sharing}"
+        )
+    pair_total = sum(
+        n for per in res.fs_pair_by_block.values() for n in per.values()
+    )
+    if pair_total != m.false_sharing:
+        out.append(
+            f"{label}: fs_pair_by_block sums to {pair_total}, "
+            f"false_sharing is {m.false_sharing}"
+        )
+    if sum(res.miss_by_block.values()) != m.total:
+        out.append(f"{label}: miss_by_block does not sum to total misses")
+    if res.config.block_size == WORD and m.false_sharing != 0:
+        out.append(
+            f"{label}: {m.false_sharing} false-sharing misses at "
+            f"{WORD}-byte blocks (must be 0)"
+        )
+    expect_cold = distinct_proc_blocks(trace, res.config.block_size)
+    if m.cold != expect_cold:
+        out.append(
+            f"{label}: cold misses {m.cold}, distinct (proc, block) "
+            f"pairs {expect_cold}"
+        )
+    return out
+
+
+def check_trace(
+    trace: Trace,
+    nprocs: int,
+    *,
+    block_sizes: tuple[int, ...] = DEFAULT_BLOCK_SIZES,
+    cache_size: int = 32 * 1024,
+    assoc: int = 4,
+) -> list[str]:
+    """Run every simulator invariant over one trace.
+
+    For each block size the trace is simulated by both engines; the two
+    results must agree with each other and each must satisfy the
+    classification invariants.
+    """
+    violations: list[str] = []
+    for bs in block_sizes:
+        config = CacheConfig(size=cache_size, block_size=bs, assoc=assoc)
+        ref = simulate_trace(trace, nprocs, config)
+        fast = simulate_trace_fast(trace, nprocs, config)
+        label = f"bs={bs}"
+        violations += _compare_results(ref, fast, f"{label} fast-vs-reference")
+        violations += check_result_internal(ref, trace, f"{label} reference")
+        violations += check_result_internal(fast, trace, f"{label} fast")
+    return violations

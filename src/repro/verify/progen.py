@@ -1,0 +1,481 @@
+"""Seeded random program generator for the restricted parallel-C subset.
+
+``generate(seed)`` produces a :class:`ProgramSpec` — a small structured
+description of shared globals and worker operations — and ``render``
+turns it into source text.  The same seed always yields the same
+program, so any fuzz failure is reproducible from its seed alone.
+
+The grammar coverage tracks what the transformations actually move:
+
+* shared scalars, 1-D int/double arrays, arrays of structs, lock
+  scalars/arrays, pointer arrays filled from ``alloc()``;
+* PDV-indexed loops (``i = pid; i += nprocs()``), blocked partitions
+  (``pid*chunk``), whole-array sweeps and neighbour writes;
+* barriers between phases and lock-guarded shared updates;
+* a ``main`` that deterministically initializes every global, spawns one
+  worker per processor, then prints checksums over *all* shared data —
+  so layout corruption anywhere becomes observable output.
+
+Specs shrink structurally (:func:`shrink`): drop worker ops, drop
+then-unreferenced globals, reduce loop rounds and array sizes — re-run
+the failing predicate after each candidate reduction and keep it only
+if the failure persists.  The result is a minimal counterexample.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field, replace
+from typing import Callable
+
+#: Fixed struct shape used whenever a spec includes struct data.
+STRUCT_DEF = (
+    "struct cell {\n"
+    "    int a;\n"
+    "    int b;\n"
+    "    double w;\n"
+    "};\n"
+)
+
+_ARRAY_KINDS = ("int_arr", "dbl_arr", "struct_arr", "ptr_arr")
+
+
+@dataclass(frozen=True, slots=True)
+class GlobalVar:
+    """One shared global declaration."""
+
+    name: str
+    kind: str  # int_arr | dbl_arr | struct_arr | ptr_arr | int_scalar | dbl_scalar | lock | lock_arr
+    size: int = 0
+
+    def decl(self) -> str:
+        if self.kind == "int_arr":
+            return f"int {self.name}[{self.size}];"
+        if self.kind == "dbl_arr":
+            return f"double {self.name}[{self.size}];"
+        if self.kind == "struct_arr":
+            return f"struct cell {self.name}[{self.size}];"
+        if self.kind == "ptr_arr":
+            return f"struct cell *{self.name}[{self.size}];"
+        if self.kind == "int_scalar":
+            return f"int {self.name};"
+        if self.kind == "dbl_scalar":
+            return f"double {self.name};"
+        if self.kind == "lock":
+            return f"lock_t {self.name};"
+        if self.kind == "lock_arr":
+            return f"lock_t {self.name}[{self.size}];"
+        raise ValueError(self.kind)
+
+
+@dataclass(frozen=True, slots=True)
+class Op:
+    """One worker-body operation over the shared globals."""
+
+    kind: str  # update | neighbor | blocked | struct_rmw | heap_rmw | locked | reduce | cond | barrier | mark
+    target: str = ""
+    lock: str = ""
+    rounds: int = 1
+    salt: int = 0
+
+
+@dataclass(frozen=True, slots=True)
+class ProgramSpec:
+    """A generated program in structured form (renderable, shrinkable)."""
+
+    seed: int
+    globals: tuple[GlobalVar, ...]
+    ops: tuple[Op, ...]
+
+    def var(self, name: str) -> GlobalVar:
+        for g in self.globals:
+            if g.name == name:
+                return g
+        raise KeyError(name)
+
+
+# ---------------------------------------------------------------------------
+# Generation
+# ---------------------------------------------------------------------------
+
+
+def generate(seed: int) -> ProgramSpec:
+    """A random, always-valid, always-terminating program spec."""
+    rng = random.Random(seed)
+    gvars: list[GlobalVar] = []
+    for i in range(rng.randint(2, 4)):
+        kind = rng.choice(_ARRAY_KINDS)
+        gvars.append(GlobalVar(f"g{i}", kind, rng.choice((8, 12, 16, 24, 32, 48))))
+    for i in range(rng.randint(1, 2)):
+        gvars.append(
+            GlobalVar(f"s{i}", rng.choice(("int_scalar", "dbl_scalar")))
+        )
+    locks: list[GlobalVar] = []
+    if rng.random() < 0.7:
+        locks.append(
+            GlobalVar("lk0", "lock")
+            if rng.random() < 0.6
+            else GlobalVar("lk0", "lock_arr", rng.choice((2, 4, 8)))
+        )
+    gvars.extend(locks)
+
+    arrays = [g for g in gvars if g.kind in _ARRAY_KINDS]
+    scalars = [g for g in gvars if g.kind in ("int_scalar", "dbl_scalar")]
+    ops: list[Op] = []
+    for _ in range(rng.randint(2, 6)):
+        roll = rng.random()
+        salt = rng.randint(0, 9999)
+        rounds = rng.randint(1, 3)
+        if roll < 0.16:
+            ops.append(Op("barrier"))
+        elif roll < 0.30 and locks and scalars:
+            ops.append(
+                Op("locked", target=rng.choice(scalars).name,
+                   lock=locks[0].name, rounds=rounds, salt=salt)
+            )
+        else:
+            g = rng.choice(arrays)
+            if g.kind == "ptr_arr":
+                kind = "heap_rmw"
+            elif g.kind == "struct_arr":
+                kind = "struct_rmw"
+            else:
+                kind = rng.choice(("update", "neighbor", "blocked", "cond", "reduce"))
+            ops.append(Op(kind, target=g.name, rounds=rounds, salt=salt))
+    if not any(o.kind != "barrier" for o in ops):
+        g = arrays[0]
+        kind = {"ptr_arr": "heap_rmw", "struct_arr": "struct_rmw"}.get(
+            g.kind, "update"
+        )
+        ops.append(Op(kind, target=g.name, salt=rng.randint(0, 9999)))
+    return ProgramSpec(seed=seed, globals=tuple(gvars), ops=tuple(ops))
+
+
+# ---------------------------------------------------------------------------
+# Rendering
+# ---------------------------------------------------------------------------
+
+
+def _op_lines(spec: ProgramSpec, op: Op) -> list[str]:
+    """Worker-body statements for one op (uses locals i, j, chunk, tmp)."""
+    if op.kind == "barrier":
+        return ["barrier();"]
+    g = spec.var(op.target) if op.target else None
+    if op.kind == "locked":
+        assert g is not None
+        lockref = (
+            f"&{op.lock}[pid % {spec.var(op.lock).size}]"
+            if spec.var(op.lock).kind == "lock_arr"
+            else f"&{op.lock}"
+        )
+        body = (
+            f"{g.name} = {g.name} + 1.5;"
+            if g.kind == "dbl_scalar"
+            else f"{g.name} = {g.name} + pid + 1;"
+        )
+        return [
+            f"for (j = 0; j < {op.rounds}; j++) {{",
+            f"    lock({lockref});",
+            f"    {body}",
+            f"    unlock({lockref});",
+            "}",
+        ]
+    assert g is not None
+    n = g.size
+    one = "1.0" if g.kind == "dbl_arr" else "1"
+    if op.kind == "update":
+        return [
+            f"for (j = 0; j < {op.rounds}; j++) {{",
+            f"    for (i = pid; i < {n}; i = i + nprocs()) {{",
+            f"        {g.name}[i] = {g.name}[i] + {one};",
+            "    }",
+            "}",
+        ]
+    if op.kind == "neighbor":
+        return [
+            f"for (j = 0; j < {op.rounds}; j++) {{",
+            f"    for (i = pid; i < {n}; i = i + nprocs()) {{",
+            f"        {g.name}[(i + 1) % {n}] = {g.name}[(i + 1) % {n}] + {one};",
+            "    }",
+            "}",
+        ]
+    if op.kind == "blocked":
+        return [
+            f"chunk = {n} / nprocs() + 1;",
+            f"for (j = 0; j < {op.rounds}; j++) {{",
+            "    for (i = pid * chunk; i < pid * chunk + chunk; i++) {",
+            f"        if (i < {n}) {{",
+            f"            {g.name}[i] = {g.name}[i] + {one};",
+            "        }",
+            "    }",
+            "}",
+        ]
+    if op.kind == "cond":
+        return [
+            f"for (i = pid; i < {n}; i = i + nprocs()) {{",
+            f"    if (rnd(i + {op.salt}) % 3 == 0) {{",
+            f"        {g.name}[i % {n}] = {g.name}[i % {n}] + {one};",
+            "    }",
+            "}",
+        ]
+    if op.kind == "reduce":
+        if g.kind == "dbl_arr":
+            return [
+                "ftmp = 0.0;",
+                f"for (i = pid; i < {n}; i = i + nprocs()) {{",
+                f"    ftmp = ftmp + {g.name}[i];",
+                "}",
+                f"{g.name}[pid % {n}] = {g.name}[pid % {n}] + ftmp;",
+            ]
+        return [
+            "tmp = 0;",
+            f"for (i = pid; i < {n}; i = i + nprocs()) {{",
+            f"    tmp = tmp + {g.name}[i];",
+            "}",
+            f"{g.name}[pid % {n}] = {g.name}[pid % {n}] + tmp % 100;",
+        ]
+    if op.kind == "struct_rmw":
+        return [
+            f"for (j = 0; j < {op.rounds}; j++) {{",
+            f"    for (i = pid; i < {n}; i = i + nprocs()) {{",
+            f"        {g.name}[i].a = {g.name}[i].a + 1;",
+            f"        {g.name}[i].w = {g.name}[i].w + 0.25;",
+            "    }",
+            "}",
+        ]
+    if op.kind == "heap_rmw":
+        return [
+            f"for (j = 0; j < {op.rounds}; j++) {{",
+            f"    for (i = pid; i < {n}; i = i + nprocs()) {{",
+            f"        {g.name}[i]->b = {g.name}[i]->b + 1;",
+            f"        {g.name}[i]->w = {g.name}[i]->w + 0.5;",
+            "    }",
+            "}",
+        ]
+    raise ValueError(op.kind)
+
+
+def _init_lines(g: GlobalVar) -> list[str]:
+    if g.kind == "int_arr":
+        return [
+            f"for (i = 0; i < {g.size}; i++) {{",
+            f"    {g.name}[i] = (i * 3 + 1) % 17;",
+            "}",
+        ]
+    if g.kind == "dbl_arr":
+        return [
+            f"for (i = 0; i < {g.size}; i++) {{",
+            f"    {g.name}[i] = tofloat(i % 11) * 0.5;",
+            "}",
+        ]
+    if g.kind == "struct_arr":
+        return [
+            f"for (i = 0; i < {g.size}; i++) {{",
+            f"    {g.name}[i].a = i % 13;",
+            f"    {g.name}[i].b = 0;",
+            f"    {g.name}[i].w = tofloat(i % 5);",
+            "}",
+        ]
+    if g.kind == "ptr_arr":
+        return [
+            f"for (i = 0; i < {g.size}; i++) {{",
+            "    cp = alloc(struct cell);",
+            "    cp->a = i % 9;",
+            "    cp->b = 1;",
+            "    cp->w = 0.125;",
+            f"    {g.name}[i] = cp;",
+            "}",
+        ]
+    if g.kind == "int_scalar":
+        return [f"{g.name} = 2;"]
+    if g.kind == "dbl_scalar":
+        return [f"{g.name} = 0.5;"]
+    return []  # locks need no init
+
+
+def _checksum_lines(g: GlobalVar) -> list[str]:
+    """Print statements folding a global's final state into the output."""
+    if g.kind == "int_arr":
+        return [
+            "chk = 0;",
+            f"for (i = 0; i < {g.size}; i++) {{",
+            f"    chk = chk + {g.name}[i] * (i % 7 + 1);",
+            "}",
+            "print(chk);",
+        ]
+    if g.kind == "dbl_arr":
+        return [
+            "fchk = 0.0;",
+            f"for (i = 0; i < {g.size}; i++) {{",
+            f"    fchk = fchk + {g.name}[i];",
+            "}",
+            "print(toint(fchk * 16.0));",
+        ]
+    if g.kind == "struct_arr":
+        return [
+            "chk = 0;",
+            "fchk = 0.0;",
+            f"for (i = 0; i < {g.size}; i++) {{",
+            f"    chk = chk + {g.name}[i].a * 3 + {g.name}[i].b;",
+            f"    fchk = fchk + {g.name}[i].w;",
+            "}",
+            "print(chk);",
+            "print(toint(fchk * 8.0));",
+        ]
+    if g.kind == "ptr_arr":
+        return [
+            "chk = 0;",
+            "fchk = 0.0;",
+            f"for (i = 0; i < {g.size}; i++) {{",
+            f"    chk = chk + {g.name}[i]->a + {g.name}[i]->b * 2;",
+            f"    fchk = fchk + {g.name}[i]->w;",
+            "}",
+            "print(chk);",
+            "print(toint(fchk * 8.0));",
+        ]
+    if g.kind == "int_scalar":
+        return [f"print({g.name});"]
+    if g.kind == "dbl_scalar":
+        return [f"print(toint({g.name} * 16.0));"]
+    return []
+
+
+def _indent(lines: list[str], by: str = "    ") -> list[str]:
+    return [by + ln if ln else ln for ln in lines]
+
+
+def render(spec: ProgramSpec) -> str:
+    """Source text for a spec (deterministic)."""
+    needs_struct = any(
+        g.kind in ("struct_arr", "ptr_arr") for g in spec.globals
+    )
+    parts: list[str] = [f"// progen seed {spec.seed}"]
+    if needs_struct:
+        parts.append(STRUCT_DEF.rstrip())
+    parts.extend(g.decl() for g in spec.globals)
+    parts.append("")
+
+    worker: list[str] = [
+        "void worker(int pid)",
+        "{",
+        "    int i;",
+        "    int j;",
+        "    int chunk;",
+        "    int tmp;",
+        "    double ftmp;",
+        "    chunk = 0;",
+        "    tmp = 0;",
+        "    ftmp = 0.0;",
+    ]
+    for op in spec.ops:
+        worker.extend(_indent(_op_lines(spec, op)))
+    worker.append("}")
+    parts.extend(worker)
+    parts.append("")
+
+    main: list[str] = [
+        "int main()",
+        "{",
+        "    int i;",
+        "    int p;",
+        "    int chk;",
+        "    double fchk;",
+    ]
+    if needs_struct:
+        main.append("    struct cell *cp;")
+    for g in spec.globals:
+        main.extend(_indent(_init_lines(g)))
+    main.extend(
+        [
+            "    for (p = 0; p < nprocs(); p++) {",
+            "        create(worker, p);",
+            "    }",
+            "    wait_for_end();",
+        ]
+    )
+    for g in spec.globals:
+        main.extend(_indent(_checksum_lines(g)))
+    main.extend(["    return 0;", "}"])
+    parts.extend(main)
+    return "\n".join(parts) + "\n"
+
+
+# ---------------------------------------------------------------------------
+# Shrinking
+# ---------------------------------------------------------------------------
+
+
+def _referenced(spec: ProgramSpec) -> set[str]:
+    used: set[str] = set()
+    for op in spec.ops:
+        if op.target:
+            used.add(op.target)
+        if op.lock:
+            used.add(op.lock)
+    return used
+
+
+def _drop_unused_globals(spec: ProgramSpec) -> ProgramSpec:
+    used = _referenced(spec)
+    kept = tuple(g for g in spec.globals if g.name in used)
+    if not kept:
+        kept = spec.globals[:1]
+    return replace(spec, globals=kept)
+
+
+def _candidates(spec: ProgramSpec):
+    """Yield strictly-smaller specs, biggest reductions first."""
+    # drop one op at a time
+    if len(spec.ops) > 1:
+        for i in range(len(spec.ops)):
+            smaller = replace(
+                spec, ops=spec.ops[:i] + spec.ops[i + 1:]
+            )
+            yield _drop_unused_globals(smaller)
+    # drop an unreferenced global outright
+    used = _referenced(spec)
+    for i, g in enumerate(spec.globals):
+        if g.name not in used and len(spec.globals) > 1:
+            yield replace(
+                spec, globals=spec.globals[:i] + spec.globals[i + 1:]
+            )
+    # reduce rounds
+    for i, op in enumerate(spec.ops):
+        if op.rounds > 1:
+            yield replace(
+                spec,
+                ops=spec.ops[:i]
+                + (replace(op, rounds=1),)
+                + spec.ops[i + 1:],
+            )
+    # halve array sizes
+    for i, g in enumerate(spec.globals):
+        if g.size > 4 and g.kind in _ARRAY_KINDS:
+            yield replace(
+                spec,
+                globals=spec.globals[:i]
+                + (replace(g, size=max(g.size // 2, 4)),)
+                + spec.globals[i + 1:],
+            )
+
+
+def shrink(
+    spec: ProgramSpec,
+    still_fails: Callable[[ProgramSpec], bool],
+    *,
+    max_attempts: int = 200,
+) -> ProgramSpec:
+    """Greedy structural shrink: keep any reduction that still fails."""
+    attempts = 0
+    progress = True
+    while progress and attempts < max_attempts:
+        progress = False
+        for cand in _candidates(spec):
+            attempts += 1
+            if attempts >= max_attempts:
+                break
+            if still_fails(cand):
+                spec = cand
+                progress = True
+                break
+    return spec

@@ -9,6 +9,21 @@ import pytest
 from repro.lang import compile_source
 
 
+def pytest_addoption(parser):
+    parser.addoption(
+        "--update-golden",
+        action="store_true",
+        default=False,
+        help="rewrite tests/golden/*.json from the current pipeline "
+        "instead of diffing against them",
+    )
+
+
+@pytest.fixture(scope="session")
+def update_golden(request):
+    return request.config.getoption("--update-golden")
+
+
 @pytest.fixture(scope="session", autouse=True)
 def _isolated_trace_cache(tmp_path_factory):
     """Point the persistent trace cache at a throwaway directory so the

@@ -1,0 +1,103 @@
+"""CLI error paths: bad inputs earn a non-zero exit and a one-line
+diagnostic — never a Python traceback."""
+
+from __future__ import annotations
+
+import sys
+
+import pytest
+
+from repro.cli import main
+
+
+def _run(argv, capsys):
+    """Invoke the CLI; normalize SystemExit to a return code and capture
+    both streams."""
+    try:
+        code = main(argv)
+    except SystemExit as e:
+        code = e.code
+        if isinstance(code, str):
+            # SystemExit("message") convention: message goes to stderr,
+            # exit status becomes 1 (what the interpreter itself does)
+            print(code, file=sys.stderr)
+            code = 1
+    out = capsys.readouterr()
+    return code, out.out, out.err
+
+
+def _assert_one_line_diag(err: str):
+    lines = [ln for ln in err.strip().splitlines() if ln]
+    assert lines, "expected a diagnostic on stderr"
+    assert "Traceback" not in err
+    assert all("File \"" not in ln for ln in lines)
+
+
+def test_unknown_workload_name(capsys):
+    code, _out, err = _run(["run", "NoSuchWorkload"], capsys)
+    assert code != 0
+    _assert_one_line_diag(err)
+    assert "NoSuchWorkload" in err
+
+
+def test_verify_unknown_workload_name(capsys):
+    code, _out, err = _run(["verify", "NoSuchWorkload"], capsys)
+    assert code != 0
+    _assert_one_line_diag(err)
+
+
+def test_verify_checker_failing_program(tmp_path, capsys):
+    bad = tmp_path / "bad.c"
+    bad.write_text("int x = 1;\nint main() { return 0; }\n")
+    code, _out, err = _run(["verify", str(bad)], capsys)
+    assert code == 2
+    _assert_one_line_diag(err)
+    assert err.startswith("repro: ")
+    assert "bad" in err  # names the offending file
+
+
+def test_verify_trace_missing_file(tmp_path, capsys):
+    code, _out, err = _run(
+        ["verify", "--trace", str(tmp_path / "nope.npz")], capsys
+    )
+    assert code == 2
+    _assert_one_line_diag(err)
+    assert "does not exist" in err
+
+
+def test_verify_trace_corrupt_npz(tmp_path, capsys):
+    corrupt = tmp_path / "corrupt.npz"
+    corrupt.write_bytes(b"PK\x03\x04 this is not a real npz payload")
+    code, _out, err = _run(["verify", "--trace", str(corrupt)], capsys)
+    assert code == 2
+    _assert_one_line_diag(err)
+    assert "not a usable cache entry" in err
+
+
+def test_verify_trace_npz_missing_meta(tmp_path, capsys):
+    import numpy as np
+
+    bogus = tmp_path / "bogus.npz"
+    np.savez_compressed(bogus, proc=np.zeros(4, dtype=np.int32))
+    code, _out, err = _run(["verify", "--trace", str(bogus)], capsys)
+    assert code == 2
+    _assert_one_line_diag(err)
+
+
+def test_verify_bad_budget(capsys):
+    with pytest.raises(SystemExit) as ei:
+        main(["verify", "--budget", "soon"])
+    msg = str(ei.value.code)
+    assert "--budget" in msg
+    assert "Traceback" not in msg
+
+
+def test_verify_single_program_success(tmp_path, capsys):
+    """Control: a well-formed program exits 0 and reports agreement."""
+    from conftest import COUNTER_SRC
+
+    ok = tmp_path / "ok.c"
+    ok.write_text(COUNTER_SRC)
+    code, out, _err = _run(["verify", str(ok), "-p", "2"], capsys)
+    assert code == 0
+    assert "agree" in out

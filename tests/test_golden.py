@@ -1,0 +1,70 @@
+"""Golden conformance snapshots: the tier-1 diff against checked-in
+canonical results (refresh with ``pytest --update-golden``)."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.verify import golden
+
+pytestmark = pytest.mark.golden
+
+
+@pytest.mark.parametrize("name", golden.GOLDEN_WORKLOADS)
+def test_snapshot_matches_golden(name, update_golden):
+    actual = golden.compute_snapshot(name)
+    path = golden.golden_path(name)
+    if update_golden:
+        golden.save(actual, path)
+        return
+    assert path.exists(), (
+        f"golden snapshot {path} missing — run pytest --update-golden"
+    )
+    expected = golden.load(path)
+    diffs = golden.diff(expected, actual)
+    assert not diffs, (
+        f"{name} diverges from its golden snapshot "
+        f"(pytest --update-golden if intended):\n  " + "\n  ".join(diffs)
+    )
+
+
+@pytest.mark.parametrize("name", golden.GOLDEN_WORKLOADS)
+def test_transforms_never_increase_false_sharing(name):
+    """The paper's core claim, as a metamorphic property of the
+    checked-in snapshots."""
+    snap = golden.load(golden.golden_path(name))
+    assert not golden.fs_not_increased(snap)
+
+
+def test_snapshots_are_canonical_json():
+    """Files on disk are exactly the canonical serialization (stable
+    key order, trailing newline) — diffs stay reviewable."""
+    for name in golden.GOLDEN_WORKLOADS:
+        path = golden.golden_path(name)
+        text = path.read_text()
+        assert text == golden.dumps(json.loads(text))
+
+
+def test_snapshot_shape():
+    snap = golden.load(golden.golden_path(golden.GOLDEN_WORKLOADS[0]))
+    assert snap["schema"] == golden.SCHEMA
+    assert set(snap["versions"]) == {"N", "C"}
+    for version in snap["versions"].values():
+        for bs in snap["block_sizes"]:
+            m = version["misses"][str(bs)]
+            assert m["total"] == (
+                m["cold"] + m["replace"] + m["true_sharing"] + m["false_sharing"]
+            )
+
+
+def test_diff_reports_leaf_paths():
+    a = {"x": {"y": 1, "z": 2}}
+    b = {"x": {"y": 1, "z": 3}}
+    diffs = golden.diff(a, b)
+    assert diffs == ["x.z: golden 2, actual 3"]
+    assert golden.diff(a, a) == []
+    assert any(
+        "missing" in d for d in golden.diff({"x": {"y": 1, "w": 0}}, a)
+    )

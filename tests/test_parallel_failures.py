@@ -1,0 +1,86 @@
+"""Regression tests for worker-failure isolation in the parallel
+harness: one grid point blowing up (bad program, unknown version,
+unknown workload) must never cost the other points their results."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import CheckError
+from repro.harness.parallel import map_tasks, run_points
+from repro.lang import compile_source
+from repro.verify.fuzz import check_seed
+
+from conftest import COUNTER_SRC
+
+#: Rejected by the checker (global initializers are unsupported) — the
+#: shape of failure a fuzz-generated program produces mid-grid.
+BAD_SRC = "int x = 1;\nint main() { return 0; }\n"
+
+
+def _compile_names(src: str) -> list[str]:
+    """Picklable worker: compile and report the global names."""
+    checked = compile_source(src)
+    return [g.name for g in checked.program.globals]
+
+
+def test_bad_source_raises_check_error_directly():
+    with pytest.raises(CheckError):
+        compile_source(BAD_SRC)
+
+
+@pytest.mark.parametrize("jobs", [1, 2])
+def test_map_tasks_one_check_error_keeps_siblings(jobs):
+    argslist = [(COUNTER_SRC,), (BAD_SRC,), (COUNTER_SRC,)]
+    failures: dict[int, str] = {}
+    out = map_tasks(_compile_names, argslist, jobs=jobs, failures=failures)
+    assert sorted(out) == [0, 2]
+    assert "counter" in out[0] and "counter" in out[2]
+    assert list(failures) == [1]
+    assert failures[1].startswith("CheckError:")
+
+
+def test_map_tasks_without_failure_dict_still_returns_siblings():
+    out = map_tasks(_compile_names, [(COUNTER_SRC,), (BAD_SRC,)], jobs=1)
+    assert sorted(out) == [0]
+
+
+def test_map_tasks_all_good(monkeypatch):
+    failures: dict[int, str] = {}
+    out = map_tasks(
+        _compile_names, [(COUNTER_SRC,)] * 3, jobs=2, failures=failures
+    )
+    assert sorted(out) == [0, 1, 2]
+    assert not failures
+
+
+@pytest.mark.parametrize(
+    "bad_point, expect_kind",
+    [
+        (("Pverify", "ZZZ", 2), "ValueError"),
+        (("NoSuchWorkload", "N", 2), None),
+    ],
+)
+def test_run_points_one_bad_point_keeps_the_grid(bad_point, expect_kind):
+    good = ("Pverify", "N", 2)
+    failures: dict[tuple, str] = {}
+    out = run_points([good, bad_point], 128, jobs=2, failures=failures)
+    assert good in out
+    assert len(out[good].trace) > 0
+    assert bad_point not in out
+    assert list(failures) == [bad_point]
+    if expect_kind:
+        assert failures[bad_point].startswith(expect_kind)
+
+
+def test_check_seed_is_parallel_safe():
+    """The fuzzer's per-seed worker survives map_tasks fan-out: results
+    come back for every seed even when one seed's program misbehaves."""
+    failures: dict[int, str] = {}
+    out = map_tasks(check_seed, [(s, 2) for s in range(4)], jobs=2,
+                    failures=failures)
+    assert sorted(out) == [0, 1, 2, 3]
+    assert not failures
+    for nplans, msgs in out.values():
+        assert msgs == []
+        assert nplans >= 1
