@@ -8,6 +8,15 @@ Commands
     patterns and the transformation decisions.
 ``transform FILE``
     Print the source-to-source transformed program.
+``transforms FILE``
+    Print the transformation plan; ``--explain`` adds the full
+    per-structure gate evidence (which gate fired, partition /
+    single-writer facts, why each alternative was rejected).
+``tune FILE``
+    Search the per-structure transform-plan space with the simulator in
+    the loop (exhaustive / greedy / beam), verify every Pareto-front
+    plan through the equivalence oracle, and print the
+    heuristic-vs-tuned comparison.
 ``run FILE``
     Execute the program under the unoptimized (or ``--optimized``)
     layout and print its output.
@@ -125,6 +134,91 @@ def cmd_transform(args) -> int:
     print(render_transformed_source(
         checked, plan, block_size=args.block_size, nprocs=args.nprocs
     ))
+    return 0
+
+
+def cmd_transforms(args) -> int:
+    from repro.transform import explain_decisions, render_explanations
+
+    checked = _load(args.file)
+    pa = analyze_program(checked, args.nprocs)
+    plan = decide_transformations(pa, block_size=args.block_size)
+    print(plan.describe())
+    print()
+    if args.explain:
+        rationales = explain_decisions(
+            pa, block_size=args.block_size, plan=plan
+        )
+        print(
+            render_explanations(
+                rationales, only_transformed=not args.verbose
+            )
+        )
+        if not args.verbose:
+            skipped = sum(1 for r in rationales if r.chosen == "none")
+            if skipped:
+                print()
+                print(
+                    f"({skipped} untransformed structures hidden; "
+                    "-v shows their rationale too)"
+                )
+    else:
+        for d in plan.decisions:
+            print(f"  {d}")
+    return 0
+
+
+def cmd_tune(args) -> int:
+    from repro.tune import (
+        Objective,
+        render_tune_report,
+        tune_source,
+        write_bench_point,
+    )
+    from repro.workloads.registry import by_name
+
+    profiling = _begin_profiling(args)
+    label, source = _resolve_source(args.file)
+    try:
+        cpi = by_name(label).cpi
+    except KeyError:
+        cpi = 4.0
+    try:
+        objective = Objective.parse(args.objective)
+    except ValueError as e:
+        raise SystemExit(f"repro: {e}") from None
+    report = tune_source(
+        source,
+        label,
+        nprocs=args.nprocs,
+        block_size=args.block_size,
+        strategy=args.strategy,
+        objective=objective,
+        budget=args.budget or None,
+        top=args.top,
+        beam_width=args.beam_width,
+        jobs=args.jobs,
+        cpi=cpi,
+        verify_front=not args.no_verify,
+    )
+    print(render_tune_report(report, verbose=args.verbose))
+    if args.bench_out:
+        path = write_bench_point(report, args.bench_out)
+        print(f"[bench point -> {path}]", file=sys.stderr)
+    _finish_profiling(args, profiling)
+    if not args.no_verify and not report.all_verified:
+        print(
+            "repro: a Pareto-front plan failed the equivalence oracle",
+            file=sys.stderr,
+        )
+        return 1
+    if not report.matched:
+        print(
+            "repro: tuned plan is worse than the heuristic plan "
+            "(this should be impossible: the heuristic is in the space)",
+            file=sys.stderr,
+        )
+        return 1
     return 0
 
 
@@ -425,6 +519,7 @@ def cmd_verify(args) -> int:
         nprocs=args.nprocs,
         count=args.count,
         jobs=args.jobs,
+        plan_source="space" if args.plan_space else "fixed",
         progress=progress,
     )
     print(report.summary())
@@ -498,6 +593,61 @@ def build_parser() -> argparse.ArgumentParser:
     common(p)
     p.set_defaults(func=cmd_transform)
 
+    p = sub.add_parser(
+        "transforms",
+        help="print the plan with per-structure heuristic rationale",
+    )
+    common(p)
+    p.add_argument(
+        "--explain", action="store_true",
+        help="show gate evidence and why alternatives were rejected",
+    )
+    p.set_defaults(func=cmd_transforms)
+
+    p = sub.add_parser(
+        "tune",
+        help="search the transform-plan space with the simulator "
+        "in the loop",
+    )
+    common(p)
+    profiled(p)
+    p.add_argument(
+        "--strategy", choices=["exhaustive", "greedy", "beam"],
+        default="greedy",
+        help="search strategy (default greedy coordinate descent)",
+    )
+    p.add_argument(
+        "--budget", type=int, default=64,
+        help="maximum unique plan evaluations (default 64; 0 = unlimited)",
+    )
+    p.add_argument(
+        "--top", type=int, default=6,
+        help="tunable structures, hottest first (default 6; the rest "
+        "are frozen to the heuristic choice)",
+    )
+    p.add_argument(
+        "--beam-width", type=int, default=3,
+        help="beam width for --strategy beam (default 3)",
+    )
+    p.add_argument(
+        "--objective", default="fs,cycles",
+        help="comma-separated metric order: fs, cycles, total, mem "
+        "(default fs,cycles)",
+    )
+    p.add_argument(
+        "--jobs", type=int, default=1,
+        help="evaluate candidate plans in parallel worker processes",
+    )
+    p.add_argument(
+        "--no-verify", action="store_true",
+        help="skip the equivalence-oracle check of front plans",
+    )
+    p.add_argument(
+        "--bench-out", metavar="PATH", default=None,
+        help="append a trajectory point to a BENCH_tune.json file",
+    )
+    p.set_defaults(func=cmd_tune)
+
     p = sub.add_parser("run", help="execute a program")
     common(p)
     p.add_argument("-O", "--optimized", action="store_true",
@@ -558,6 +708,11 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument(
         "--trace", metavar="FILE.npz", default=None,
         help="invariant-check one stored trace-cache entry",
+    )
+    p.add_argument(
+        "--plan-space", action="store_true",
+        help="draw candidate plans from the tuner's action space "
+        "instead of the fixed five-plan list",
     )
     p.set_defaults(func=cmd_verify)
 

@@ -1,6 +1,11 @@
 """Shared-data transformations: decision heuristics, transformation
 plans, and the source-to-source rendering of transformed programs."""
 
+from repro.transform.explain import (
+    StructureRationale,
+    explain_decisions,
+    render_explanations,
+)
 from repro.transform.heuristics import decide_transformations
 from repro.transform.plan import (
     ALL_KINDS,
@@ -17,6 +22,9 @@ from repro.transform.rewriter import render_transformed_source, transform_source
 __all__ = [
     "profile_guided_plan",
     "decide_transformations",
+    "StructureRationale",
+    "explain_decisions",
+    "render_explanations",
     "ALL_KINDS",
     "Decision",
     "GroupMember",

@@ -1,0 +1,218 @@
+"""Per-structure heuristic rationale: *why* each transformation was (or
+was not) chosen.
+
+The decision heuristics record a one-line :class:`~repro.transform.plan.Decision`
+per structure; when a tuned plan disagrees with the heuristic pick, that
+line is not enough to debug the difference.  This module re-derives the
+full evidence the section-3.3 gates saw — access weights against both
+frequency bars, the read-pattern gate, the pad gate, the write
+partition, the single-writer test — and states for every *alternative*
+action why the heuristics rejected it.  ``repro transforms --explain``
+renders it; the tuner's reports point at it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.analysis.summary import ProgramAnalysis
+from repro.lang import ctypes as T
+from repro.transform.heuristics import (
+    MAX_PADDED_BYTES,
+    _choose_partition,
+    _indirectable,
+    _pad_gate,
+    _reads_gate,
+    _round_up,
+    _single_writer,
+    decide_transformations,
+)
+from repro.transform.plan import TransformPlan
+
+
+@dataclass(slots=True)
+class StructureRationale:
+    """Everything the gates saw for one structure."""
+
+    target: str
+    chosen: str  # the action the heuristic plan takes
+    reason: str  # the Decision line
+    weight: float
+    weight_fraction: float
+    #: (gate name, verdict, evidence) triples, in evaluation order
+    gates: list[tuple[str, bool, str]] = field(default_factory=list)
+    #: (action, why it was rejected) for every alternative not chosen
+    rejected: list[tuple[str, str]] = field(default_factory=list)
+
+    def lines(self) -> list[str]:
+        out = [f"{self.target}: {self.chosen} — {self.reason}"]
+        out.append(
+            f"    weight {self.weight:.0f} "
+            f"({100 * self.weight_fraction:.2f}% of program accesses)"
+        )
+        for name, verdict, why in self.gates:
+            mark = "+" if verdict else "-"
+            out.append(f"    [{mark}] {name}: {why}")
+        for action, why in self.rejected:
+            out.append(f"    rejected {action}: {why}")
+        return out
+
+
+def explain_decisions(
+    pa: ProgramAnalysis,
+    *,
+    block_size: int = 128,
+    plan: Optional[TransformPlan] = None,
+) -> list[StructureRationale]:
+    """The full per-structure rationale behind one heuristic plan."""
+    plan = plan if plan is not None else decide_transformations(
+        pa, block_size=block_size
+    )
+    decision_by_target = {d.target: d for d in plan.decisions}
+    total_weight = sum(
+        p.writes + p.reads for p in pa.patterns.values()
+    ) or 1.0
+
+    out: list[StructureRationale] = []
+    for target, pat in sorted(pa.patterns.items(), key=lambda kv: str(kv[0])):
+        name = str(target)
+        d = decision_by_target.get(name)
+        weight = pat.writes + pat.reads
+        r = StructureRationale(
+            target=name,
+            chosen=d.action if d else "none",
+            reason=d.reason if d else "no decision recorded",
+            weight=weight,
+            weight_fraction=weight / total_weight,
+        )
+        if pat.is_lock:
+            r.gates.append(
+                ("lock", True, "locks are always padded (section 3.3)")
+            )
+            out.append(r)
+            continue
+
+        reads_ok, reads_why = _reads_gate(pat)
+        pad_ok = _pad_gate(pat)
+        owner = _single_writer(pat)
+        partition = _choose_partition(pat, pa.nprocs)
+        r.gates.append(
+            (
+                "writes per-process",
+                pat.writes_are_per_process,
+                f"Wpp={pat.write_pp:.0f} Wsh={pat.write_sh:.0f}"
+                + (
+                    f" ({100 * pat.write_pp / pat.writes:.0f}% per-process)"
+                    if pat.writes > 0
+                    else " (no writes)"
+                ),
+            )
+        )
+        r.gates.append(("reads gate", reads_ok, reads_why))
+        r.gates.append(
+            (
+                "write partition",
+                partition is not None,
+                f"PDV-disjoint descriptor {partition}"
+                if partition is not None
+                else "no PDV-disjoint write descriptor",
+            )
+        )
+        r.gates.append(
+            (
+                "single writer",
+                owner is not None,
+                f"only process {owner} writes"
+                if owner is not None
+                else "written by multiple processes (or main only)",
+            )
+        )
+        r.gates.append(
+            (
+                "pad gate",
+                pad_ok,
+                "reads and writes shared without processor or spatial "
+                "locality"
+                if pad_ok
+                else "writes have locality, are per-process, or reads "
+                "have spatial locality",
+            )
+        )
+
+        chosen = r.chosen
+        if chosen != "group_transpose":
+            if target.is_heap:
+                r.rejected.append(
+                    ("group_transpose", "heap data cannot be physically "
+                     "relocated (indirection is its only layout change)")
+                )
+            elif not pat.writes_are_per_process:
+                r.rejected.append(
+                    ("group_transpose", "writes are not per-process")
+                )
+            elif not reads_ok:
+                r.rejected.append(("group_transpose", reads_why))
+            elif partition is None and owner is None:
+                r.rejected.append(
+                    ("group_transpose",
+                     "no usable partition descriptor or single writer")
+                )
+        if chosen != "indirection":
+            if not target.is_heap:
+                r.rejected.append(
+                    ("indirection", "not a heap-record field")
+                )
+            elif pat.record_field is None or not _indirectable(
+                pa, pat.record_field
+            ):
+                r.rejected.append(
+                    ("indirection",
+                     "field is linkage or lock state (must stay in place)")
+                )
+            elif not pat.writes_are_per_process:
+                r.rejected.append(
+                    ("indirection", "heap field writes are not per-process")
+                )
+            elif not reads_ok:
+                r.rejected.append(("indirection", reads_why))
+        if chosen != "pad_align" and not target.is_heap:
+            if not pad_ok:
+                r.rejected.append(
+                    ("pad_align",
+                     "pad gate declines (locality would be wasted)")
+                )
+            else:
+                ginfo = pa.checked.symtab.globals.get(target.base)
+                if ginfo is not None and isinstance(ginfo.type, T.ArrayType):
+                    elem_size = int(getattr(ginfo.type.elem, "size", 8) or 8)
+                    padded = ginfo.type.nelems * _round_up(
+                        elem_size, block_size
+                    )
+                    if padded > MAX_PADDED_BYTES:
+                        r.rejected.append(
+                            ("pad_align",
+                             f"would expand to {padded} bytes")
+                        )
+                        out.append(r)
+                        continue
+                r.rejected.append(
+                    ("pad_align",
+                     "below the pad frequency bar (static profile may "
+                     "underestimate busy structures — the tuner's "
+                     "simulation-in-the-loop search is not fooled)")
+                )
+        out.append(r)
+    return out
+
+
+def render_explanations(
+    rationales: list[StructureRationale], *, only_transformed: bool = False
+) -> str:
+    lines: list[str] = []
+    for r in rationales:
+        if only_transformed and r.chosen == "none":
+            continue
+        lines.extend(r.lines())
+        lines.append("")
+    return "\n".join(lines).rstrip()

@@ -9,6 +9,7 @@ source rendering (the paper is a source-to-source restructurer).
 
 from __future__ import annotations
 
+import hashlib
 from dataclasses import dataclass, field
 from typing import Optional
 
@@ -133,6 +134,67 @@ class TransformPlan:
             decisions=list(self.decisions),
         )
 
+    def identity(self) -> tuple:
+        """The plan's content identity: every transformation entry as a
+        sorted, deduplicated tuple of stable strings, plus the process
+        count.  Decisions are audit records and deliberately excluded —
+        two plans that place data identically are the same plan no
+        matter how they were reached.
+        """
+        return (
+            self.nprocs,
+            tuple(sorted({_member_key(m) for m in self.group})),
+            tuple(sorted({(i.struct, i.field) for i in self.indirections})),
+            tuple(sorted({(p.base, p.per_element) for p in self.pads})),
+            tuple(sorted({_lock_key(lp) for lp in self.lock_pads})),
+            tuple(sorted(set(self.record_pads))),
+        )
+
+    @property
+    def fingerprint(self) -> str:
+        """Stable content hash: equal for any two plans with the same
+        :meth:`identity`, regardless of entry order or duplicates — the
+        tuner's dedup/memo key."""
+        return hashlib.sha256(repr(self.identity()).encode()).hexdigest()
+
+    def canonical(self) -> "TransformPlan":
+        """A copy with every entry list sorted and deduplicated.
+
+        Canonical plans compare (and hash, via :attr:`fingerprint`)
+        identically whenever they place data identically, and their
+        :meth:`describe` text — the persistent trace-cache key — is
+        order-independent, so a plan reached through a different search
+        path never re-interprets a trace already cached.
+        """
+        group: list[GroupMember] = []
+        seen_members: set[tuple] = set()
+        for m in sorted(self.group, key=_member_key):
+            k = _member_key(m)
+            if k not in seen_members:
+                seen_members.add(k)
+                group.append(m)
+        indirections = sorted(
+            {(i.struct, i.field): i for i in self.indirections}.values(),
+            key=lambda i: (i.struct, i.field),
+        )
+        pads = sorted(
+            {(p.base, p.per_element): p for p in self.pads}.values(),
+            key=lambda p: (p.base, p.per_element),
+        )
+        lock_pads = sorted(
+            {_lock_key(lp): lp for lp in self.lock_pads}.values(),
+            key=_lock_key,
+        )
+        return TransformPlan(
+            nprocs=self.nprocs,
+            group=group,
+            indirections=list(indirections),
+            pads=list(pads),
+            lock_pads=list(lock_pads),
+            record_pads=sorted(set(self.record_pads)),
+            decisions=list(self.decisions),
+        )
+
     def describe(self) -> str:
         lines = [f"TransformPlan (nprocs={self.nprocs}):"]
         if self.group:
@@ -153,6 +215,20 @@ class TransformPlan:
         if self.is_empty:
             lines.append("  (no transformations)")
         return "\n".join(lines)
+
+
+def _member_key(m: GroupMember) -> tuple:
+    """Total order over group members (partitioned before owned)."""
+    return (
+        m.base,
+        m.path,
+        "" if m.partition is None else str(m.partition),
+        -1 if m.owner is None else m.owner,
+    )
+
+
+def _lock_key(lp: LockPad) -> tuple:
+    return (lp.base or "", lp.struct_field or ("", ""))
 
 
 #: Transformation kind names used by selective application.

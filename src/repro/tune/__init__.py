@@ -1,0 +1,75 @@
+"""``repro.tune`` — simulation-in-the-loop plan autotuning.
+
+The paper (and :mod:`repro.transform.heuristics`) picks one of four
+layout transformations per structure with fixed rules.  This subsystem
+treats the choice as a discrete search problem instead:
+
+* :mod:`repro.tune.space` enumerates the legal per-structure action
+  space from the static analysis and composes candidate
+  :class:`~repro.transform.plan.TransformPlan`\\ s;
+* :mod:`repro.tune.objective` scores plans (false-sharing misses, total
+  misses, KSR2-modelled cycles, memory overhead) and keeps a Pareto
+  front;
+* :mod:`repro.tune.search` runs exhaustive / greedy-coordinate-descent /
+  beam strategies with fingerprint dedup, score memoization, and an
+  evaluation budget;
+* :mod:`repro.tune.report` drives the whole loop (parallel evaluation,
+  oracle verification of every front member, spans + manifest records)
+  behind the ``repro tune`` command.
+"""
+
+from repro.tune.objective import (
+    Objective,
+    ParetoFront,
+    PlanScore,
+    dominates,
+    layout_bytes,
+    score_version,
+)
+from repro.tune.report import (
+    TuneReport,
+    bench_point,
+    render_tune_report,
+    tune_source,
+    tune_workload,
+    write_bench_point,
+)
+from repro.tune.search import (
+    STRATEGIES,
+    Evaluation,
+    Evaluator,
+    SearchOutcome,
+    run_search,
+)
+from repro.tune.space import (
+    PlanAction,
+    PlanSpace,
+    StructureChoices,
+    enumerate_space,
+    space_candidate_plans,
+)
+
+__all__ = [
+    "Objective",
+    "ParetoFront",
+    "PlanScore",
+    "dominates",
+    "layout_bytes",
+    "score_version",
+    "TuneReport",
+    "bench_point",
+    "render_tune_report",
+    "tune_source",
+    "tune_workload",
+    "write_bench_point",
+    "STRATEGIES",
+    "Evaluation",
+    "Evaluator",
+    "SearchOutcome",
+    "run_search",
+    "PlanAction",
+    "PlanSpace",
+    "StructureChoices",
+    "enumerate_space",
+    "space_candidate_plans",
+]

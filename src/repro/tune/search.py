@@ -1,0 +1,285 @@
+"""Search strategies over the plan space.
+
+Three strategies, one contract: propose choice vectors, evaluate them
+through a shared :class:`Evaluator`, stop when the space or the
+evaluation budget is exhausted.
+
+* **exhaustive** — every vector, in lexicographic order.  Ground truth
+  on small spaces, exponential elsewhere.
+* **greedy** — coordinate descent: sweep the structures (heaviest
+  first), re-deciding one structure at a time with the others held
+  fixed, until a full sweep changes nothing.  Evaluates
+  O(sweeps · Σ|actions|) plans; exact whenever structures contribute
+  independently to the objective, which false-sharing cost mostly does
+  (distinct structures rarely share a cache block).
+* **beam** — breadth-first over structure prefixes keeping the ``width``
+  best partial assignments (undecided structures default to "none"),
+  which explores cross-structure interactions greedy cannot see at
+  O(width · Σ|actions|) evaluations.
+
+The :class:`Evaluator` deduplicates candidates by the canonical plan
+fingerprint — distinct choice vectors frequently compose to the same
+plan — memoizes scores, enforces the budget, and maintains the running
+Pareto front; simulation-level memoization below it lives in
+:mod:`repro.sim.simcache`.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Optional, Sequence
+
+from repro import perf
+from repro.obs import spans as obs
+from repro.transform.plan import TransformPlan
+from repro.tune.objective import Objective, ParetoFront, PlanScore
+from repro.tune.space import PlanSpace
+
+STRATEGIES = ("exhaustive", "greedy", "beam")
+
+
+class BudgetExhausted(Exception):
+    """Internal control flow: the evaluation budget ran out."""
+
+
+@dataclass(slots=True)
+class Evaluation:
+    """One scored candidate."""
+
+    choices: tuple[int, ...]
+    plan: TransformPlan
+    fingerprint: str
+    score: PlanScore
+
+
+@dataclass(slots=True)
+class Evaluator:
+    """Dedup + memo + budget around a batch scoring function.
+
+    ``score_many`` maps plans to scores (``None`` for a plan whose
+    evaluation failed — the candidate is discarded, never the batch).
+    ``budget`` bounds *unique* evaluations; cache hits are free.
+    """
+
+    space: PlanSpace
+    score_many: Callable[[list[TransformPlan]], list[Optional[PlanScore]]]
+    objective: Objective = field(default_factory=Objective)
+    budget: Optional[int] = None
+    #: fingerprint -> Evaluation (or None while failed)
+    memo: dict[str, Optional[Evaluation]] = field(default_factory=dict)
+    front: ParetoFront = field(default_factory=ParetoFront)
+    evaluations: int = 0
+    dedup_hits: int = 0
+    failures: int = 0
+
+    @property
+    def exhausted(self) -> bool:
+        return self.budget is not None and self.evaluations >= self.budget
+
+    def evaluate_batch(
+        self, vectors: Sequence[tuple[int, ...]]
+    ) -> list[Evaluation]:
+        """Score every new plan among ``vectors``; returns an Evaluation
+        per input vector (memoized or fresh), skipping failures.
+
+        When the budget cannot cover the whole batch, the prefix that
+        fits is still scored (and lands in the memo and the front) and
+        *then* :class:`BudgetExhausted` is raised — the budget is spent,
+        never silently forfeited.
+        """
+        composed = [(vec, self.space.compose(vec)) for vec in vectors]
+        fresh: list[tuple[tuple[int, ...], TransformPlan, str]] = []
+        seen_batch: set[str] = set()
+        truncated = False
+        for vec, plan in composed:
+            fp = plan.fingerprint
+            if fp in self.memo or fp in seen_batch:
+                self.dedup_hits += 1
+                continue
+            if (
+                self.budget is not None
+                and self.evaluations + len(fresh) >= self.budget
+            ):
+                truncated = True
+                break
+            seen_batch.add(fp)
+            fresh.append((vec, plan, fp))
+        if fresh:
+            scores = self.score_many([plan for _v, plan, _f in fresh])
+            for (vec, plan, fp), score in zip(fresh, scores):
+                self.evaluations += 1
+                if score is None:
+                    self.failures += 1
+                    perf.add("tune.eval_failed")
+                    self.memo[fp] = None
+                    continue
+                ev = Evaluation(vec, plan, fp, score)
+                self.memo[fp] = ev
+                self.front.add(fp, score, payload=ev)
+                perf.add("tune.evaluations")
+        if truncated:
+            raise BudgetExhausted()
+        out: list[Evaluation] = []
+        for vec, plan in composed:
+            ev = self.memo.get(plan.fingerprint)
+            if ev is not None:
+                out.append(ev)
+        return out
+
+    def evaluate(self, vector: tuple[int, ...]) -> Optional[Evaluation]:
+        got = self.evaluate_batch([vector])
+        return got[0] if got else None
+
+    def best(self) -> Optional[Evaluation]:
+        """The best evaluation so far under the objective."""
+        best: Optional[Evaluation] = None
+        for ev in self.memo.values():
+            if ev is None:
+                continue
+            if best is None or self.objective.better(ev.score, best.score):
+                best = ev
+        return best
+
+
+@dataclass(slots=True)
+class SearchOutcome:
+    """What one strategy run did and found."""
+
+    strategy: str
+    best: Optional[Evaluation]
+    evaluations: int
+    dedup_hits: int
+    space_size: int
+    seconds: float
+    budget_exhausted: bool = False
+
+
+# ---------------------------------------------------------------------------
+# Strategies
+# ---------------------------------------------------------------------------
+
+#: Vectors per evaluator batch (one parallel fan-out each).
+BATCH = 16
+
+
+def _outcome(
+    strategy: str, ev: Evaluator, t0: float, exhausted: bool
+) -> SearchOutcome:
+    return SearchOutcome(
+        strategy=strategy,
+        best=ev.best(),
+        evaluations=ev.evaluations,
+        dedup_hits=ev.dedup_hits,
+        space_size=ev.space.size,
+        seconds=time.perf_counter() - t0,
+        budget_exhausted=exhausted,
+    )
+
+
+def exhaustive_search(ev: Evaluator) -> SearchOutcome:
+    t0 = time.perf_counter()
+    exhausted = False
+    batch: list[tuple[int, ...]] = []
+    try:
+        for vec in ev.space.choice_vectors():
+            batch.append(vec)
+            if len(batch) >= BATCH:
+                ev.evaluate_batch(batch)
+                batch = []
+        if batch:
+            ev.evaluate_batch(batch)
+    except BudgetExhausted:
+        exhausted = True
+    return _outcome("exhaustive", ev, t0, exhausted)
+
+
+def greedy_search(
+    ev: Evaluator, start: Optional[tuple[int, ...]] = None
+) -> SearchOutcome:
+    t0 = time.perf_counter()
+    space = ev.space
+    n = len(space.structures)
+    current = tuple(start) if start is not None else (0,) * n
+    exhausted = False
+    try:
+        cur_ev = ev.evaluate(current)
+        improved = True
+        while improved:
+            improved = False
+            for i in range(n):
+                options = [
+                    current[:i] + (a,) + current[i + 1:]
+                    for a in range(len(space.structures[i].actions))
+                ]
+                for cand in ev.evaluate_batch(options):
+                    if cur_ev is None or ev.objective.better(
+                        cand.score, cur_ev.score
+                    ):
+                        cur_ev = cand
+                        current = cand.choices
+                        improved = True
+    except BudgetExhausted:
+        exhausted = True
+    return _outcome("greedy", ev, t0, exhausted)
+
+
+def beam_search(ev: Evaluator, width: int = 3) -> SearchOutcome:
+    t0 = time.perf_counter()
+    space = ev.space
+    n = len(space.structures)
+    exhausted = False
+    beam: list[tuple[int, ...]] = [(0,) * n]
+    try:
+        ev.evaluate((0,) * n)
+        for i in range(n):
+            candidates: list[tuple[int, ...]] = []
+            seen: set[tuple[int, ...]] = set()
+            for state in beam:
+                for a in range(len(space.structures[i].actions)):
+                    vec = state[:i] + (a,) + state[i + 1:]
+                    if vec not in seen:
+                        seen.add(vec)
+                        candidates.append(vec)
+            scored = ev.evaluate_batch(candidates)
+            ranked = sorted(
+                scored,
+                key=lambda e: (ev.objective.key(e.score), e.fingerprint),
+            )
+            kept: list[tuple[int, ...]] = []
+            for e in ranked:
+                # distinct *vectors*: equal plans collapse via the memo
+                for vec in candidates:
+                    if (
+                        space.compose(vec).fingerprint == e.fingerprint
+                        and vec not in kept
+                    ):
+                        kept.append(vec)
+                        break
+                if len(kept) >= width:
+                    break
+            beam = kept or beam
+    except BudgetExhausted:
+        exhausted = True
+    return _outcome("beam", ev, t0, exhausted)
+
+
+def run_search(
+    ev: Evaluator,
+    strategy: str,
+    *,
+    start: Optional[tuple[int, ...]] = None,
+    beam_width: int = 3,
+) -> SearchOutcome:
+    """Dispatch one strategy by name (see :data:`STRATEGIES`)."""
+    with obs.span("tune.search", strategy=strategy, space=ev.space.size):
+        if strategy == "exhaustive":
+            return exhaustive_search(ev)
+        if strategy == "greedy":
+            return greedy_search(ev, start=start)
+        if strategy == "beam":
+            return beam_search(ev, width=beam_width)
+    raise ValueError(
+        f"unknown search strategy {strategy!r} "
+        f"(choose from {', '.join(STRATEGIES)})"
+    )

@@ -1,0 +1,410 @@
+"""The per-structure transformation action space.
+
+The section-3.3 heuristics commit to *one* transformation per structure
+using fixed profitability rules.  The tuner instead treats the choice as
+a discrete search problem: for every structure the static analysis saw,
+enumerate each **legal** action — leave it alone, pad & align it (whole
+object or per element), group & transpose it (by its PDV partition or
+its single writer), or indirect it into per-process arenas — and let the
+simulator, not the rulebook, decide which combination wins.
+
+Legality reuses the heuristics' own gating predicates
+(:func:`~repro.transform.heuristics._choose_partition`,
+:func:`~repro.transform.heuristics._single_writer`,
+:func:`~repro.transform.heuristics._indirectable`), so every composed
+plan is one the layout engine and rewriter can realize, and every plan
+the heuristics could have produced is a point in the space.  Structures
+beyond the ``max_structures`` hottest are frozen to the heuristic's own
+choice — the heuristic plan is therefore always reachable, which is what
+guarantees the tuned objective can never be worse than the heuristic's.
+
+Locks are not searched: the paper pads them unconditionally, and so do
+we — they live in the space's fixed part.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Iterator, Optional, Sequence
+
+from repro.analysis.summary import ProgramAnalysis, TargetPattern
+from repro.lang import ctypes as T
+from repro.transform.heuristics import (
+    MAX_PADDED_BYTES,
+    _choose_partition,
+    _indirectable,
+    _lock_pad_for,
+    _pad_gate,
+    _reads_gate,
+    _round_up,
+    _single_writer,
+    decide_transformations,
+)
+from repro.transform.plan import (
+    Decision,
+    GroupMember,
+    Indirection,
+    LockPad,
+    PadAlign,
+    TransformPlan,
+)
+
+
+@dataclass(frozen=True, slots=True)
+class PlanAction:
+    """One concrete choice for one structure: the plan fragments it
+    contributes plus the legality evidence that admitted it."""
+
+    target: str
+    kind: str  # "none" | "pad_align" | "group_transpose" | "indirection"
+    why: str
+    group: tuple[GroupMember, ...] = ()
+    indirections: tuple[Indirection, ...] = ()
+    pads: tuple[PadAlign, ...] = ()
+
+    def __str__(self) -> str:
+        return f"{self.target}:{self.kind}" + (
+            f" ({self.why})" if self.why else ""
+        )
+
+
+@dataclass(slots=True)
+class StructureChoices:
+    """The tunable alternatives for one structure, heaviest first in the
+    space.  ``actions[0]`` is always the do-nothing action."""
+
+    target: str
+    weight: float
+    actions: tuple[PlanAction, ...]
+
+
+@dataclass(slots=True)
+class PlanSpace:
+    """The composed search space: per-structure alternatives plus the
+    fixed (never-searched) plan fragments — lock pads and the heuristic
+    choices of structures outside the tunable set."""
+
+    nprocs: int
+    block_size: int
+    structures: list[StructureChoices] = field(default_factory=list)
+    fixed: TransformPlan = field(default_factory=TransformPlan)
+    #: structures frozen to the heuristic choice (outside the top-K)
+    frozen: list[str] = field(default_factory=list)
+
+    @property
+    def size(self) -> int:
+        """Number of distinct choice vectors (not necessarily distinct
+        canonical plans)."""
+        n = 1
+        for sc in self.structures:
+            n *= len(sc.actions)
+        return n
+
+    def compose(self, choices: Sequence[int]) -> TransformPlan:
+        """The canonical plan selected by one choice vector."""
+        if len(choices) != len(self.structures):
+            raise ValueError(
+                f"choice vector has {len(choices)} entries for "
+                f"{len(self.structures)} tunable structures"
+            )
+        plan = TransformPlan(
+            nprocs=self.nprocs,
+            group=list(self.fixed.group),
+            indirections=list(self.fixed.indirections),
+            pads=list(self.fixed.pads),
+            lock_pads=list(self.fixed.lock_pads),
+            record_pads=list(self.fixed.record_pads),
+        )
+        for sc, idx in zip(self.structures, choices):
+            act = sc.actions[idx]
+            plan.group.extend(act.group)
+            plan.indirections.extend(act.indirections)
+            plan.pads.extend(act.pads)
+            plan.decisions.append(
+                Decision(sc.target, act.kind, f"tuner: {act.why}")
+            )
+        return plan.canonical()
+
+    def choice_vectors(self) -> Iterator[tuple[int, ...]]:
+        """Every choice vector, in deterministic lexicographic order."""
+        return itertools.product(
+            *(range(len(sc.actions)) for sc in self.structures)
+        )
+
+    def match_plan(self, plan: TransformPlan) -> tuple[int, ...]:
+        """The choice vector whose composition best reproduces ``plan``
+        (used to seed the search at the heuristic's pick).
+
+        For each tunable structure, pick the action all of whose
+        fragments appear in ``plan``; ambiguity resolves to the heaviest
+        (latest-listed) match, absence to action 0 (none).
+        """
+        canon = plan.canonical()
+        group = {m_key(m) for m in canon.group}
+        indirections = {(i.struct, i.field) for i in canon.indirections}
+        pads = {(p.base, p.per_element) for p in canon.pads}
+        vec: list[int] = []
+        for sc in self.structures:
+            chosen = 0
+            for i, act in enumerate(sc.actions):
+                if act.kind == "none":
+                    continue
+                ok = (
+                    all(m_key(m) in group for m in act.group)
+                    and all(
+                        (ind.struct, ind.field) in indirections
+                        for ind in act.indirections
+                    )
+                    and all((p.base, p.per_element) in pads for p in act.pads)
+                )
+                if ok:
+                    chosen = i
+            vec.append(chosen)
+        return tuple(vec)
+
+
+def m_key(m: GroupMember) -> tuple:
+    return (
+        m.base,
+        m.path,
+        "" if m.partition is None else str(m.partition),
+        -1 if m.owner is None else m.owner,
+    )
+
+
+# ---------------------------------------------------------------------------
+# Enumeration
+# ---------------------------------------------------------------------------
+
+
+def _actions_for(
+    pa: ProgramAnalysis, target, pat: TargetPattern, block_size: int
+) -> list[PlanAction]:
+    """Every legal action for one (non-lock) structure."""
+    name = str(target)
+    none = PlanAction(name, "none", "leave in natural layout")
+    actions = [none]
+    if pat.writes <= 0:
+        return actions  # read-only data has no coherence traffic to move
+
+    # heap-record fields: indirection is the only layout change possible
+    if target.is_heap:
+        key = pat.record_field
+        if key is not None and _indirectable(pa, key):
+            actions.append(
+                PlanAction(
+                    name,
+                    "indirection",
+                    f"heap field {key[0]}.{key[1]} relocatable to arenas",
+                    indirections=(Indirection(*key),),
+                )
+            )
+        return actions
+
+    ginfo = pa.checked.symtab.globals.get(target.base)
+    if ginfo is None:
+        return actions
+
+    reads_ok, reads_why = _reads_gate(pat)
+    if isinstance(ginfo.type, T.ArrayType):
+        partition = _choose_partition(pat, pa.nprocs)
+        if partition is not None and partition.ndim == len(ginfo.type.dims):
+            actions.append(
+                PlanAction(
+                    name,
+                    "group_transpose",
+                    f"PDV-disjoint write partition {partition}; "
+                    f"reads gate: {reads_why}",
+                    group=(GroupMember(target.base, target.path, partition),),
+                )
+            )
+        owner = _single_writer(pat)
+        if owner is not None:
+            actions.append(
+                PlanAction(
+                    name,
+                    "group_transpose",
+                    f"written only by process {owner}; "
+                    f"reads gate: {reads_why}",
+                    group=(
+                        GroupMember(target.base, target.path, None, owner),
+                    ),
+                )
+            )
+        elem = getattr(ginfo.type, "elem", None)
+        elem_size = int(getattr(elem, "size", 8) or 8)
+        padded = ginfo.type.nelems * _round_up(elem_size, block_size)
+        if padded <= MAX_PADDED_BYTES:
+            actions.append(
+                PlanAction(
+                    name,
+                    "pad_align",
+                    f"each element to its own {block_size} B block "
+                    f"({padded} B total); pad gate "
+                    f"{'fires' if _pad_gate(pat) else 'declines'}",
+                    pads=(PadAlign(target.base, per_element=True),),
+                )
+            )
+        actions.append(
+            PlanAction(
+                name,
+                "pad_align",
+                "whole array to a block boundary",
+                pads=(PadAlign(target.base, per_element=False),),
+            )
+        )
+        return actions
+
+    # scalars
+    owner = _single_writer(pat)
+    if owner is not None:
+        actions.append(
+            PlanAction(
+                name,
+                "group_transpose",
+                f"scalar written only by process {owner}",
+                group=(GroupMember(target.base, target.path, None, owner),),
+            )
+        )
+    actions.append(
+        PlanAction(
+            name,
+            "pad_align",
+            f"scalar to its own block; pad gate "
+            f"{'fires' if _pad_gate(pat) else 'declines'}",
+            pads=(PadAlign(target.base, per_element=False),),
+        )
+    )
+    return actions
+
+
+def enumerate_space(
+    pa: ProgramAnalysis,
+    *,
+    block_size: int = 128,
+    max_structures: int = 6,
+    heuristic_plan: Optional[TransformPlan] = None,
+) -> PlanSpace:
+    """Build the search space for one analyzed program.
+
+    The ``max_structures`` hottest structures with more than one legal
+    action become tunable; everything else — locks, cold structures, and
+    structures the cut excludes — is frozen to the heuristic's choice so
+    the heuristic plan stays inside the space.
+    """
+    heuristic = (
+        heuristic_plan
+        if heuristic_plan is not None
+        else decide_transformations(pa, block_size=block_size)
+    ).canonical()
+
+    tunable: list[tuple[float, StructureChoices]] = []
+    lock_pads: dict[str, LockPad] = {}
+    for target, pat in sorted(pa.patterns.items(), key=lambda kv: str(kv[0])):
+        if pat.is_lock:
+            lp = _lock_pad_for(target, pat, pa.checked.symtab.globals)
+            if lp is not None:
+                lock_pads.setdefault(str(lp), lp)
+            continue
+        acts = _actions_for(pa, target, pat, block_size)
+        if len(acts) <= 1:
+            continue
+        weight = pat.writes + pat.reads
+        tunable.append(
+            (weight, StructureChoices(str(target), weight, tuple(acts)))
+        )
+    tunable.sort(key=lambda ws: (-ws[0], ws[1].target))
+    kept = [sc for _w, sc in tunable[:max_structures]]
+    dropped = [sc for _w, sc in tunable[max_structures:]]
+
+    space = PlanSpace(
+        nprocs=pa.nprocs,
+        block_size=block_size,
+        structures=kept,
+        fixed=TransformPlan(
+            nprocs=pa.nprocs, lock_pads=list(lock_pads.values())
+        ),
+        frozen=[sc.target for sc in dropped],
+    )
+    # Freeze out-of-budget structures to the heuristic's own fragments.
+    kept_names = {sc.target for sc in kept}
+    probe = PlanSpace(
+        nprocs=pa.nprocs,
+        block_size=block_size,
+        structures=dropped,
+        fixed=TransformPlan(nprocs=pa.nprocs),
+    )
+    frozen_plan = probe.compose(probe.match_plan(heuristic))
+    space.fixed.group.extend(
+        m for m in frozen_plan.group if _owner_target(m) not in kept_names
+    )
+    space.fixed.indirections.extend(frozen_plan.indirections)
+    space.fixed.pads.extend(
+        p for p in frozen_plan.pads if p.base not in kept_names
+    )
+    space.fixed = space.fixed.canonical()
+    return space
+
+
+def _owner_target(m: GroupMember) -> str:
+    return m.base + "".join(f".{p}" for p in m.path)
+
+
+# ---------------------------------------------------------------------------
+# Fuzz-driver hook
+# ---------------------------------------------------------------------------
+
+
+def space_candidate_plans(
+    checked,
+    nprocs: int,
+    *,
+    block_size: int = 128,
+    limit: int = 12,
+    max_structures: int = 4,
+) -> list[tuple[str, TransformPlan]]:
+    """Candidate plans for the differential fuzzer, drawn from the
+    action space instead of the fixed five-plan list.
+
+    Deterministic and bounded: the all-none vector (fixed parts only),
+    the heuristic's vector, the all-last vector (every structure's
+    heaviest action), each single-structure "one action on" vector, then
+    lexicographic product order until ``limit`` distinct plans exist.
+    """
+    from repro.analysis import analyze_program
+
+    pa = analyze_program(checked, nprocs)
+    heuristic = decide_transformations(pa, block_size=block_size)
+    space = enumerate_space(
+        pa,
+        block_size=block_size,
+        max_structures=max_structures,
+        heuristic_plan=heuristic,
+    )
+    n = len(space.structures)
+    vectors: list[tuple[int, ...]] = [
+        (0,) * n,
+        space.match_plan(heuristic),
+        tuple(len(sc.actions) - 1 for sc in space.structures),
+    ]
+    for i, sc in enumerate(space.structures):
+        for a in range(1, len(sc.actions)):
+            vectors.append(tuple(a if j == i else 0 for j in range(n)))
+    for vec in space.choice_vectors():
+        if len(vectors) >= 4 * limit:
+            break
+        vectors.append(vec)
+
+    plans: list[tuple[str, TransformPlan]] = []
+    seen: set[str] = set()
+    for vec in vectors:
+        plan = space.compose(vec)
+        if plan.fingerprint in seen:
+            continue
+        seen.add(plan.fingerprint)
+        label = "space[" + ",".join(map(str, vec)) + "]"
+        plans.append((label, plan))
+        if len(plans) >= limit:
+            break
+    return plans

@@ -34,6 +34,32 @@ from repro.verify import invariants, oracle, progen
 #: Block sizes the invariant leg sweeps per program (word-size first).
 FUZZ_BLOCK_SIZES = (4, 32, 128)
 
+#: Where candidate plans come from.  ``fixed`` is the five-plan oracle
+#: list; ``space`` draws them from the tuner's per-structure action
+#: space (:func:`repro.tune.space.space_candidate_plans`), so generated
+#: programs exercise every composable action combination, not just the
+#: synthesized exhaustive plans.
+PLAN_SOURCES = ("fixed", "space")
+
+#: Plans drawn per program in ``space`` mode (bounded: space size is
+#: exponential in the structure count).
+SPACE_PLAN_LIMIT = 8
+
+
+def _candidate_plans(checked, nprocs: int, plan_source: str):
+    if plan_source == "fixed":
+        return None  # oracle default
+    if plan_source == "space":
+        from repro.tune.space import space_candidate_plans
+
+        return space_candidate_plans(
+            checked, nprocs, limit=SPACE_PLAN_LIMIT
+        )
+    raise ValueError(
+        f"unknown plan source {plan_source!r} "
+        f"(choose from {', '.join(PLAN_SOURCES)})"
+    )
+
 
 @dataclass(slots=True)
 class FuzzFailure:
@@ -77,7 +103,7 @@ class FuzzReport:
 
 
 def _spec_failures(
-    spec: progen.ProgramSpec, nprocs: int
+    spec: progen.ProgramSpec, nprocs: int, plan_source: str = "fixed"
 ) -> tuple[list[str], int]:
     """All failures one spec exhibits, plus the number of plans checked.
 
@@ -91,7 +117,10 @@ def _spec_failures(
     except ReproError as e:
         return [f"crash: compile: {type(e).__name__}: {e}"], 0
     try:
-        verdicts, base_run = oracle.check_program(checked, nprocs)
+        plans = _candidate_plans(checked, nprocs, plan_source)
+        verdicts, base_run = oracle.check_program(
+            checked, nprocs, plans=plans
+        )
     except Exception as e:
         return [f"crash: oracle: {type(e).__name__}: {e}"], 0
     out = [f"oracle: {v}" for v in verdicts if not v.ok]
@@ -107,9 +136,13 @@ def _spec_failures(
     return out, len(verdicts)
 
 
-def check_seed(seed: int, nprocs: int) -> tuple[int, list[str]]:
+def check_seed(
+    seed: int, nprocs: int, plan_source: str = "fixed"
+) -> tuple[int, list[str]]:
     """Fuzz one seed (picklable worker entry point)."""
-    msgs, nplans = _spec_failures(progen.generate(seed), nprocs)
+    msgs, nplans = _spec_failures(
+        progen.generate(seed), nprocs, plan_source
+    )
     return nplans, msgs
 
 
@@ -121,13 +154,15 @@ def _classify(msgs: list[str]) -> str:
     return "invariant"
 
 
-def _minimize(seed: int, nprocs: int) -> FuzzFailure:
+def _minimize(
+    seed: int, nprocs: int, plan_source: str = "fixed"
+) -> FuzzFailure:
     """Shrink a failing seed to a minimal reproducer."""
     spec = progen.generate(seed)
-    msgs, _ = _spec_failures(spec, nprocs)
+    msgs, _ = _spec_failures(spec, nprocs, plan_source)
 
     def still_fails(cand: progen.ProgramSpec) -> bool:
-        got, _ = _spec_failures(cand, nprocs)
+        got, _ = _spec_failures(cand, nprocs, plan_source)
         return bool(got)
 
     small = progen.shrink(spec, still_fails)
@@ -175,6 +210,7 @@ def fuzz(
     nprocs: int = 4,
     count: int | None = None,
     jobs: int = 1,
+    plan_source: str = "fixed",
     progress=None,
 ) -> FuzzReport:
     """Run the fuzz loop until the time budget or program count is hit.
@@ -203,7 +239,7 @@ def fuzz(
         task_failures: dict[int, str] = {}
         results = map_tasks(
             check_seed,
-            [(s, nprocs) for s in seeds],
+            [(s, nprocs, plan_source) for s in seeds],
             jobs=jobs,
             failures=task_failures,
         )
@@ -219,6 +255,6 @@ def fuzz(
         if progress is not None:
             progress(report)
     for s in failing_seeds:
-        report.failures.append(_minimize(s, nprocs))
+        report.failures.append(_minimize(s, nprocs, plan_source))
     report.elapsed = time.monotonic() - start
     return report

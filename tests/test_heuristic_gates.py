@@ -1,0 +1,314 @@
+"""The section-3.3 gating predicates, pinned one by one.
+
+The heuristics are exercised end-to-end elsewhere (golden plans, the
+transform tests); here each gate gets synthetic :class:`TargetPattern`
+fixtures so its boundary conditions are stated explicitly — these same
+predicates also define *legality* for the tuner's action space, so their
+edges decide what the search is allowed to explore.
+"""
+
+from types import SimpleNamespace
+
+import pytest
+
+from repro.analysis.perprocess import MAIN_PROC
+from repro.analysis.sideeffects import AccessEntry, Target
+from repro.analysis.summary import TargetPattern
+from repro.errors import SourceLocation
+from repro.lang import compile_source
+from repro.rsd.descriptor import RSD, Range, StridedUnknown
+from repro.rsd.expr import Affine
+from repro.transform.heuristics import (
+    WRITE_DOMINANCE,
+    _choose_partition,
+    _dedupe_group,
+    _indirectable,
+    _pad_gate,
+    _reads_gate,
+    _single_writer,
+)
+from repro.transform.plan import GroupMember, PadAlign, TransformPlan
+
+LOC = SourceLocation(1, 1, "<test>")
+
+
+def _entry(
+    *,
+    write: bool,
+    procs,
+    phase: int = 0,
+    weight: float = 10.0,
+    rsd: RSD = RSD.scalar(),
+) -> AccessEntry:
+    return AccessEntry(
+        target=Target("x"),
+        is_write=write,
+        rsd=rsd,
+        weight=weight,
+        phase=phase,
+        procs=frozenset(procs),
+        func="worker",
+        loc=LOC,
+        elem_size=4,
+    )
+
+
+def _pat(**weights) -> TargetPattern:
+    pat = TargetPattern(target=Target("x"))
+    for name, value in weights.items():
+        setattr(pat, name, value)
+    return pat
+
+
+def _pdv_rsd(chunk: int = 4) -> RSD:
+    return RSD(
+        (Range(Affine.pdv(chunk), Affine.pdv(chunk) + (chunk - 1), 1),)
+    )
+
+
+def _unit_rsd(n: int = 16) -> RSD:
+    return RSD((Range(Affine(0), Affine(n - 1), 1),))
+
+
+def _strided_rsd(stride: int, n: int = 16) -> RSD:
+    return RSD((Range(Affine(0), Affine(n - 1), stride),))
+
+
+class TestReadsGate:
+    def test_no_reads_passes(self):
+        ok, why = _reads_gate(_pat(write_pp=100.0))
+        assert ok and why == "no reads"
+
+    def test_reads_without_locality_pass(self):
+        # shared reads, but nothing with spatial locality
+        ok, _ = _reads_gate(
+            _pat(write_pp=50.0, read_pp=40.0, read_sh_nonlocal=60.0)
+        )
+        assert ok
+
+    def test_local_reads_block(self):
+        ok, why = _reads_gate(
+            _pat(write_pp=50.0, read_sh_local=30.0, read_pp=10.0)
+        )
+        assert not ok
+        assert "locality" in why
+
+    def test_write_dominance_overrides_locality(self):
+        # "writes dominate the number of reads by at least an order of
+        # magnitude" — the paper's escape hatch
+        reads = 10.0
+        ok, _ = _reads_gate(
+            _pat(write_pp=WRITE_DOMINANCE * reads, read_sh_local=reads)
+        )
+        assert ok
+        ok, _ = _reads_gate(
+            _pat(
+                write_pp=WRITE_DOMINANCE * reads - 1.0,
+                read_sh_local=reads,
+            )
+        )
+        assert not ok
+
+    def test_ten_percent_locality_threshold(self):
+        ok, _ = _reads_gate(
+            _pat(write_pp=5.0, read_pp=90.0, read_sh_local=10.0)
+        )
+        assert ok  # exactly 10% local: still fine
+        ok, _ = _reads_gate(
+            _pat(write_pp=5.0, read_pp=89.0, read_sh_local=11.0)
+        )
+        assert not ok
+
+
+class TestPadGate:
+    def test_requires_writes(self):
+        assert not _pad_gate(_pat(read_sh_nonlocal=100.0))
+
+    def test_requires_shared_writes(self):
+        assert not _pad_gate(_pat(write_pp=60.0, write_sh=40.0))
+
+    def test_shared_scalar_writes_fire(self):
+        pat = _pat(write_sh=80.0, write_pp=0.0)
+        pat.write_descriptors = [(RSD.scalar(), 80.0)]
+        assert _pad_gate(pat)
+
+    def test_unit_stride_writes_count_as_locality(self):
+        # the paper's Topopt revolving array: known unit stride means
+        # padding would waste real spatial locality
+        pat = _pat(write_sh=80.0)
+        pat.write_descriptors = [(_unit_rsd(), 80.0)]
+        assert not _pad_gate(pat)
+        pat.write_descriptors = [(RSD((StridedUnknown(1),)), 80.0)]
+        assert not _pad_gate(pat)
+        pat.write_descriptors = [(_strided_rsd(3), 80.0)]
+        assert _pad_gate(pat)
+
+    def test_local_reads_block(self):
+        pat = _pat(write_sh=80.0, read_sh_local=60.0, read_sh_nonlocal=10.0)
+        pat.write_descriptors = [(RSD.scalar(), 80.0)]
+        assert not _pad_gate(pat)
+
+    def test_nonlocal_reads_fire(self):
+        pat = _pat(write_sh=80.0, read_sh_nonlocal=60.0, read_pp=10.0)
+        pat.write_descriptors = [(RSD.scalar(), 80.0)]
+        assert _pad_gate(pat)
+
+
+class TestSingleWriter:
+    def test_one_worker(self):
+        pat = _pat()
+        pat.entries = [
+            _entry(write=True, procs={2}),
+            _entry(write=False, procs={0, 1, 2, 3}),
+        ]
+        assert _single_writer(pat) == 2
+
+    def test_multiple_writers(self):
+        pat = _pat()
+        pat.entries = [
+            _entry(write=True, procs={1}),
+            _entry(write=True, procs={2}),
+        ]
+        assert _single_writer(pat) is None
+
+    def test_main_only_is_not_a_worker(self):
+        pat = _pat()
+        pat.entries = [_entry(write=True, procs={MAIN_PROC})]
+        assert _single_writer(pat) is None
+
+    def test_serial_phase_writes_ignored(self):
+        pat = _pat()
+        pat.entries = [
+            _entry(write=True, procs={1}, phase=-1),
+            _entry(write=True, procs={3}),
+        ]
+        assert _single_writer(pat) == 3
+
+    def test_reads_do_not_make_writers(self):
+        pat = _pat()
+        pat.entries = [_entry(write=False, procs={0})]
+        assert _single_writer(pat) is None
+
+
+class TestChoosePartition:
+    def test_picks_heaviest_pdv_disjoint(self):
+        pat = _pat()
+        pat.write_descriptors = [
+            (_pdv_rsd(2), 5.0),
+            (_pdv_rsd(4), 9.0),
+            (_unit_rsd(), 100.0),  # heavy but PDV-independent
+        ]
+        assert _choose_partition(pat, 4) == _pdv_rsd(4)
+
+    def test_no_pdv_descriptor(self):
+        pat = _pat()
+        pat.write_descriptors = [(_unit_rsd(), 50.0)]
+        assert _choose_partition(pat, 4) is None
+
+    def test_overlapping_pdv_sections_rejected(self):
+        # pdv..pdv+7 with chunk 1: neighbours overlap, no partition
+        overlapping = RSD((Range(Affine.pdv(1), Affine.pdv(1) + 7, 1),))
+        pat = _pat()
+        pat.write_descriptors = [(overlapping, 50.0)]
+        assert _choose_partition(pat, 4) is None
+
+
+INDIRECT_SRC = """
+struct cell {
+    struct cell *next;
+    lock_t lk;
+    int v;
+};
+
+struct cell *cells[8];
+
+void worker(int pid)
+{
+    cells[pid]->v = pid;
+}
+
+int main()
+{
+    int i;
+    struct cell *cp;
+    for (i = 0; i < 8; i++) {
+        cp = alloc(struct cell);
+        cp->v = 0;
+        cells[i] = cp;
+    }
+    for (i = 0; i < nprocs(); i++) {
+        create(worker, i);
+    }
+    wait_for_end();
+    print(cells[0]->v);
+    return 0;
+}
+"""
+
+
+class TestIndirectable:
+    @pytest.fixture(scope="class")
+    def pa(self):
+        # _indirectable only consults the symbol table
+        return SimpleNamespace(checked=compile_source(INDIRECT_SRC))
+
+    def test_plain_field_ok(self, pa):
+        assert _indirectable(pa, ("cell", "v"))
+
+    def test_linkage_pointer_stays(self, pa):
+        assert not _indirectable(pa, ("cell", "next"))
+
+    def test_lock_field_stays(self, pa):
+        assert not _indirectable(pa, ("cell", "lk"))
+
+    def test_unknown_field_or_struct(self, pa):
+        assert not _indirectable(pa, ("cell", "w"))
+        assert not _indirectable(pa, ("nope", "v"))
+
+    def test_heap_fixture_fields(self, heap_checked):
+        pa = SimpleNamespace(checked=heap_checked)
+        for fname in ("value", "count", "tag"):
+            assert _indirectable(pa, ("node", fname))
+
+
+class TestDedupeGroup:
+    def test_duplicate_members_first_wins(self):
+        plan = TransformPlan(
+            nprocs=4,
+            group=[
+                GroupMember("a", (), _pdv_rsd(4)),
+                GroupMember("a", (), None, 2),
+                GroupMember("b", ()),
+            ],
+        )
+        _dedupe_group(plan)
+        assert [(m.base, m.partition) for m in plan.group] == [
+            ("a", _pdv_rsd(4)),
+            ("b", None),
+        ]
+
+    def test_duplicate_pads_collapse(self):
+        plan = TransformPlan(
+            nprocs=4,
+            pads=[
+                PadAlign("p", per_element=True),
+                PadAlign("p", per_element=False),
+                PadAlign("q"),
+            ],
+        )
+        _dedupe_group(plan)
+        assert [(p.base, p.per_element) for p in plan.pads] == [
+            ("p", True),
+            ("q", False),
+        ]
+
+    def test_grouped_base_cannot_also_be_padded(self):
+        plan = TransformPlan(
+            nprocs=4,
+            group=[GroupMember("a", ()), GroupMember("s", ("f",))],
+            pads=[PadAlign("a"), PadAlign("s"), PadAlign("z")],
+        )
+        _dedupe_group(plan)
+        # 'a' moved to the group region wholesale: pad dropped; 's' is
+        # grouped only through a field path, its pad survives
+        assert [p.base for p in plan.pads] == ["s", "z"]

@@ -1,0 +1,135 @@
+"""TransformPlan canonicalization and content fingerprints."""
+
+import random
+
+from repro.rsd.descriptor import RSD, Range
+from repro.rsd.expr import Affine
+from repro.transform.plan import (
+    GroupMember,
+    Indirection,
+    LockPad,
+    PadAlign,
+    TransformPlan,
+)
+
+
+def _partition(chunk: int) -> RSD:
+    return RSD(
+        (Range(Affine.pdv(chunk), Affine.pdv(chunk) + (chunk - 1), 1),)
+    )
+
+
+def _rich_plan() -> TransformPlan:
+    return TransformPlan(
+        nprocs=8,
+        group=[
+            GroupMember("a", (), _partition(4)),
+            GroupMember("flag", (), None, 0),
+            GroupMember("b", ("x",), _partition(2)),
+        ],
+        indirections=[Indirection("node", "count"), Indirection("node", "value")],
+        pads=[PadAlign("cells", per_element=True), PadAlign("total")],
+        lock_pads=[LockPad(base="biglock"), LockPad(struct_field=("c", "lk"))],
+        record_pads=["node", "cell"],
+    )
+
+
+class TestFingerprint:
+    def test_order_independent(self):
+        a = _rich_plan()
+        b = _rich_plan()
+        rng = random.Random(7)
+        for lst in (b.group, b.indirections, b.pads, b.lock_pads,
+                    b.record_pads):
+            rng.shuffle(lst)
+        assert a.fingerprint == b.fingerprint
+        assert a.identity() == b.identity()
+
+    def test_duplicates_ignored(self):
+        a = _rich_plan()
+        b = _rich_plan()
+        b.pads.append(PadAlign("cells", per_element=True))
+        b.indirections.append(Indirection("node", "count"))
+        b.group.append(GroupMember("flag", (), None, 0))
+        b.lock_pads.append(LockPad(base="biglock"))
+        b.record_pads.append("node")
+        assert a.fingerprint == b.fingerprint
+
+    def test_content_sensitive(self):
+        a = _rich_plan()
+        for mutate in (
+            lambda p: p.pads.append(PadAlign("zzz")),
+            lambda p: p.group.pop(),
+            lambda p: p.indirections.append(Indirection("node", "tag")),
+            lambda p: p.lock_pads.pop(),
+            lambda p: p.record_pads.pop(),
+        ):
+            b = _rich_plan()
+            mutate(b)
+            assert a.fingerprint != b.fingerprint
+
+    def test_nprocs_in_identity(self):
+        a = _rich_plan()
+        b = _rich_plan()
+        b.nprocs = 16
+        assert a.fingerprint != b.fingerprint
+
+    def test_decisions_excluded(self):
+        from repro.transform.plan import Decision
+
+        a = _rich_plan()
+        b = _rich_plan()
+        b.decisions.append(Decision("a", "none", "audit only"))
+        assert a.fingerprint == b.fingerprint
+
+    def test_empty_vs_empty(self):
+        assert (
+            TransformPlan(nprocs=4).fingerprint
+            == TransformPlan(nprocs=4).fingerprint
+        )
+
+
+class TestCanonical:
+    def test_sorted_and_deduped(self):
+        p = _rich_plan()
+        rng = random.Random(3)
+        for lst in (p.group, p.indirections, p.pads, p.lock_pads,
+                    p.record_pads):
+            rng.shuffle(lst)
+        p.pads.append(PadAlign("cells", per_element=True))
+        c = p.canonical()
+        assert [(i.struct, i.field) for i in c.indirections] == [
+            ("node", "count"), ("node", "value")
+        ]
+        assert [(pa.base, pa.per_element) for pa in c.pads] == [
+            ("cells", True), ("total", False)
+        ]
+        assert c.record_pads == ["cell", "node"]
+        assert len(c.group) == 3
+        assert c.fingerprint == _rich_plan().fingerprint
+
+    def test_describe_stable_across_orderings(self):
+        a = _rich_plan()
+        b = _rich_plan()
+        rng = random.Random(11)
+        for lst in (b.group, b.indirections, b.pads, b.lock_pads):
+            rng.shuffle(lst)
+        # describe() is the persistent trace-cache key: canonical plans
+        # must render identically no matter how they were assembled
+        assert a.canonical().describe() == b.canonical().describe()
+
+    def test_canonical_preserves_semantics_fields(self):
+        p = _rich_plan()
+        c = p.canonical()
+        assert c.nprocs == p.nprocs
+        assert not c.is_empty
+        assert c.decisions == p.decisions
+
+    def test_heuristic_plan_canonical_roundtrip(self, counter_checked):
+        from repro.analysis import analyze_program
+        from repro.transform import decide_transformations
+
+        plan = decide_transformations(analyze_program(counter_checked, 8))
+        c = plan.canonical()
+        assert c.fingerprint == plan.fingerprint
+        assert c.canonical().describe() == c.describe()

@@ -1,0 +1,110 @@
+"""CLI surface of the tuner: ``repro tune``, ``repro transforms
+--explain``, and ``repro verify --plan-space``."""
+
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.obs import spans as obs
+
+from conftest import COUNTER_SRC
+
+
+@pytest.fixture(autouse=True)
+def _obs_reset():
+    yield
+    obs.reset()
+    obs.disable()
+
+
+@pytest.fixture()
+def src_file(tmp_path):
+    f = tmp_path / "prog.pc"
+    f.write_text(COUNTER_SRC)
+    return str(f)
+
+
+class TestTuneCommand:
+    def test_smoke(self, capsys):
+        assert main(
+            ["tune", "Raytrace", "-p", "4", "--top", "2", "--budget", "16"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "tune Raytrace" in out
+        assert "heuristic" in out and "tuned best" in out
+        assert "Pareto front" in out
+
+    def test_source_file_input(self, src_file, capsys):
+        assert main(
+            ["tune", src_file, "-p", "4", "--top", "2", "--budget", "16"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "FS misses" in out
+
+    def test_bench_out(self, tmp_path, capsys):
+        bench = str(tmp_path / "BENCH_tune.json")
+        assert main(
+            [
+                "tune", "Raytrace", "-p", "4", "--top", "2",
+                "--budget", "16", "--bench-out", bench,
+            ]
+        ) == 0
+        points = json.loads(open(bench).read())
+        assert len(points) == 1
+        assert points[0]["workload"] == "Raytrace"
+        assert points[0]["tuned_fs"] <= points[0]["heuristic_fs"]
+
+    def test_strategy_beam(self, capsys):
+        assert main(
+            [
+                "tune", "Raytrace", "-p", "4", "--top", "2",
+                "--budget", "16", "--strategy", "beam",
+                "--objective", "fs,total",
+            ]
+        ) == 0
+        assert "strategy=beam" in capsys.readouterr().out
+
+    def test_bad_objective_rejected(self):
+        with pytest.raises(SystemExit):
+            main(
+                [
+                    "tune", "Raytrace", "-p", "4",
+                    "--objective", "fs,latency",
+                ]
+            )
+
+
+class TestTransformsExplain:
+    def test_explain_renders_gates(self, src_file, capsys):
+        assert main(["transforms", src_file, "-p", "4", "--explain"]) == 0
+        out = capsys.readouterr().out
+        assert "TransformPlan" in out
+        assert "counter: group_transpose" in out
+        assert "[+]" in out  # gate verdict markers
+        assert "weight " in out
+        assert "untransformed structures hidden" in out
+
+    def test_explain_verbose_shows_rejections(self, src_file, capsys):
+        assert main(
+            ["transforms", src_file, "-p", "4", "--explain", "-v"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "rejected" in out
+        assert "hidden" not in out
+
+    def test_without_explain_lists_decisions(self, src_file, capsys):
+        assert main(["transforms", src_file, "-p", "4"]) == 0
+        out = capsys.readouterr().out
+        assert "locks are always padded" in out
+        assert "[+]" not in out
+
+
+class TestVerifyPlanSpace:
+    def test_fuzz_draws_plans_from_space(self, capsys):
+        assert main(
+            ["verify", "--count", "2", "--seed", "0", "--plan-space"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "2 programs" in out
+        assert "ok" in out

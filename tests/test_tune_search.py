@@ -1,0 +1,301 @@
+"""Search strategies, evaluator bookkeeping, objective, Pareto front.
+
+The strategies are exercised against a synthetic space with a
+hand-written additive objective — no interpreter, no simulator — so the
+tests pin down the *search* contracts: exhaustive is ground truth,
+greedy and beam reach the same optimum on a separable objective while
+evaluating strictly fewer candidates, budgets bar new evaluations, and
+duplicate plans never re-score.
+"""
+
+import pytest
+
+from repro.transform.plan import PadAlign, TransformPlan
+from repro.tune.objective import (
+    METRICS,
+    Objective,
+    ParetoFront,
+    PlanScore,
+    dominates,
+)
+from repro.tune.search import (
+    BudgetExhausted,
+    Evaluator,
+    beam_search,
+    exhaustive_search,
+    greedy_search,
+    run_search,
+)
+from repro.tune.space import PlanAction, PlanSpace, StructureChoices
+
+#: (base, per_element) -> false-sharing misses removed by that pad.
+GAINS = {
+    ("a", False): 10,
+    ("a", True): 40,
+    ("b", False): 25,
+    ("b", True): 25,  # same gain through a *different* plan
+    ("c", False): 5,
+}
+
+
+def _pad_action(base: str, per_element: bool) -> PlanAction:
+    return PlanAction(
+        base,
+        "pad_align",
+        f"pad {base}",
+        pads=(PadAlign(base, per_element=per_element),),
+    )
+
+
+def _synth_space() -> PlanSpace:
+    mk = lambda base, weight, *variants: StructureChoices(
+        base,
+        weight,
+        (PlanAction(base, "none", "leave"),)
+        + tuple(_pad_action(base, pe) for pe in variants),
+    )
+    return PlanSpace(
+        nprocs=4,
+        block_size=128,
+        structures=[
+            mk("a", 100, False, True),
+            mk("b", 50, False, True),
+            mk("c", 10, False),
+        ],
+    )
+
+
+def _score_of(plan: TransformPlan) -> PlanScore:
+    gain = sum(GAINS[(p.base, p.per_element)] for p in plan.pads)
+    fs = 100 - gain
+    return PlanScore(
+        fs_misses=fs,
+        total_misses=fs + 50,
+        cycles=10_000.0 + 100.0 * fs + 10.0 * len(plan.pads),
+        mem_bytes=1000 + 128 * len(plan.pads),
+        mem_overhead=128 * len(plan.pads),
+    )
+
+
+def _scorer(calls=None):
+    def score_many(plans):
+        if calls is not None:
+            calls.append(len(plans))
+        return [_score_of(p) for p in plans]
+
+    return score_many
+
+
+def _evaluator(budget=None) -> Evaluator:
+    return Evaluator(
+        space=_synth_space(), score_many=_scorer(), budget=budget
+    )
+
+
+def _brute_best_key(objective: Objective) -> tuple:
+    space = _synth_space()
+    return min(
+        objective.key(_score_of(space.compose(v)))
+        for v in space.choice_vectors()
+    )
+
+
+class TestEvaluator:
+    def test_dedup_same_plan_scored_once(self):
+        ev = _evaluator()
+        # b's two pad variants differ, but evaluating one vector twice
+        # must hit the memo
+        got1 = ev.evaluate((1, 0, 0))
+        got2 = ev.evaluate((1, 0, 0))
+        assert got1 is got2
+        assert ev.evaluations == 1
+        assert ev.dedup_hits == 1
+
+    def test_batch_dedups_within_itself(self):
+        ev = _evaluator()
+        out = ev.evaluate_batch([(1, 0, 0), (1, 0, 0), (2, 0, 0)])
+        assert ev.evaluations == 2
+        assert ev.dedup_hits == 1
+        assert len(out) == 3  # memoized result returned per input
+
+    def test_budget_bars_new_evaluations(self):
+        ev = _evaluator(budget=2)
+        ev.evaluate_batch([(0, 0, 0), (1, 0, 0)])
+        with pytest.raises(BudgetExhausted):
+            ev.evaluate((2, 0, 0))
+        assert ev.evaluations == 2
+        # memoized lookups still work after exhaustion
+        assert ev.evaluate((1, 0, 0)) is not None
+
+    def test_failed_scores_discarded_not_fatal(self):
+        space = _synth_space()
+
+        def flaky(plans):
+            return [
+                None if any(p.base == "c" for p in plan.pads)
+                else _score_of(plan)
+                for plan in plans
+            ]
+
+        ev = Evaluator(space=space, score_many=flaky)
+        out = ev.evaluate_batch([(0, 0, 1), (1, 0, 0)])
+        assert ev.failures == 1
+        assert [e.choices for e in out] == [(1, 0, 0)]
+        assert ev.evaluate((0, 0, 1)) is None  # memoized as failed
+
+    def test_front_tracks_evaluations(self):
+        ev = _evaluator()
+        ev.evaluate_batch(list(ev.space.choice_vectors()))
+        assert len(ev.front) >= 1
+        best = ev.best()
+        assert best is not None
+        assert best.fingerprint in {
+            e.fingerprint for e in ev.front.entries
+        }
+
+
+class TestStrategies:
+    def test_exhaustive_covers_distinct_plans(self):
+        ev = _evaluator()
+        out = exhaustive_search(ev)
+        space = _synth_space()
+        distinct = len(
+            {space.compose(v).fingerprint for v in space.choice_vectors()}
+        )
+        assert out.evaluations == distinct
+        assert out.dedup_hits == space.size - distinct
+        assert not out.budget_exhausted
+        assert ev.objective.key(out.best.score) == _brute_best_key(
+            ev.objective
+        )
+
+    def test_greedy_matches_exhaustive_with_fewer_evals(self):
+        ex = exhaustive_search(_evaluator())
+        ev = _evaluator()
+        out = greedy_search(ev)
+        assert out.evaluations < ex.evaluations
+        assert ev.objective.key(out.best.score) == ev.objective.key(
+            ex.best.score
+        )
+
+    def test_greedy_from_custom_start(self):
+        ev = _evaluator()
+        out = greedy_search(ev, start=(2, 2, 1))
+        assert ev.objective.key(out.best.score) == _brute_best_key(
+            ev.objective
+        )
+
+    def test_beam_matches_exhaustive_with_fewer_evals(self):
+        ex = exhaustive_search(_evaluator())
+        ev = _evaluator()
+        out = beam_search(ev, width=2)
+        assert out.evaluations < ex.evaluations
+        assert ev.objective.key(out.best.score) == ev.objective.key(
+            ex.best.score
+        )
+
+    def test_budget_exhaustion_reported_with_partial_best(self):
+        ev = _evaluator(budget=4)
+        out = exhaustive_search(ev)
+        assert out.budget_exhausted
+        assert out.evaluations == 4
+        assert out.best is not None
+
+    def test_run_search_dispatch(self):
+        for strategy in ("exhaustive", "greedy", "beam"):
+            out = run_search(_evaluator(), strategy)
+            assert out.strategy == strategy
+        with pytest.raises(ValueError):
+            run_search(_evaluator(), "annealing")
+
+
+class TestObjective:
+    def test_parse_and_str_roundtrip(self):
+        obj = Objective.parse(" fs , mem ")
+        assert obj.order == ("fs", "mem")
+        assert str(obj) == "fs,mem"
+
+    def test_parse_rejects_unknown_and_empty(self):
+        with pytest.raises(ValueError):
+            Objective.parse("fs,latency")
+        with pytest.raises(ValueError):
+            Objective.parse("")
+
+    def test_lexicographic_order(self):
+        obj = Objective(order=("fs", "mem"))
+        a = PlanScore(5, 60, 9000.0, 1000, 500)
+        b = PlanScore(5, 50, 8000.0, 900, 400)
+        c = PlanScore(4, 99, 99999.0, 9999, 9999)
+        assert obj.better(b, a)  # fs ties, mem decides
+        assert obj.better(c, b)  # fs dominates everything listed after
+        assert not obj.better(a, a)
+
+    def test_cycles_quantized_against_solver_noise(self):
+        obj = Objective(order=("cycles",), cycles_rtol=1e-3)
+        a = PlanScore(0, 0, 1_000_000.0, 0, 0)
+        b = PlanScore(0, 0, 1_000_400.0, 0, 0)  # within 0.1%
+        c = PlanScore(0, 0, 1_010_000.0, 0, 0)  # clearly worse
+        # sub-tolerance differences move the key by at most one bucket
+        assert abs(obj.key(a)[0] - obj.key(b)[0]) <= 1
+        assert obj.better(a, c)
+        assert obj.better(b, c)
+
+    def test_cycles_key_monotone(self):
+        obj = Objective(order=("cycles",), cycles_rtol=1e-3)
+        values = [0.5, 1.0, 10.0, 999.0, 1e4, 2e5, 1e6, 3e8]
+        keys = [
+            obj.key(PlanScore(0, 0, v, 0, 0))[0] for v in values
+        ]
+        assert keys == sorted(keys)
+        # distinct enough values never collapse into one bucket
+        assert len(set(keys)) == len(keys)
+
+    def test_metric_names_closed(self):
+        s = PlanScore(1, 2, 3.0, 4, 5)
+        for m in METRICS:
+            s.metric(m)
+        with pytest.raises(KeyError):
+            s.metric("latency")
+
+
+class TestParetoFront:
+    S = staticmethod(lambda fs, cyc, mem: PlanScore(fs, fs, cyc, mem, mem))
+
+    def test_dominated_entry_rejected(self):
+        front = ParetoFront()
+        assert front.add("A", self.S(10, 100.0, 50))
+        assert not front.add("B", self.S(10, 100.0, 60))
+        assert len(front) == 1
+
+    def test_dominating_entry_evicts(self):
+        front = ParetoFront()
+        front.add("A", self.S(10, 100.0, 50))
+        assert front.add("B", self.S(5, 90.0, 40))
+        assert [e.fingerprint for e in front.entries] == ["B"]
+
+    def test_tradeoffs_coexist(self):
+        front = ParetoFront()
+        front.add("fast", self.S(0, 100.0, 500))
+        assert front.add("small", self.S(20, 300.0, 0))
+        assert len(front) == 2
+
+    def test_duplicate_fingerprint_and_equal_vector_rejected(self):
+        front = ParetoFront()
+        front.add("A", self.S(10, 100.0, 50))
+        assert not front.add("A", self.S(0, 0.0, 0))
+        assert not front.add("B", self.S(10, 100.0, 50))
+
+    def test_sorted_by_objective(self):
+        front = ParetoFront()
+        front.add("fast", self.S(0, 100.0, 500))
+        front.add("small", self.S(20, 300.0, 0))
+        by_fs = front.sorted_by(Objective(order=("fs",)))
+        by_mem = front.sorted_by(Objective(order=("mem",)))
+        assert by_fs[0].fingerprint == "fast"
+        assert by_mem[0].fingerprint == "small"
+
+    def test_dominates_strictness(self):
+        a = self.S(1, 10.0, 5)
+        assert not dominates(a, a)
+        assert dominates(self.S(1, 9.0, 5), a)
+        assert not dominates(self.S(0, 11.0, 5), a)

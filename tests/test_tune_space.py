@@ -1,0 +1,184 @@
+"""Action-space enumeration: legality, composition, heuristic fidelity."""
+
+import pytest
+
+from repro.analysis import analyze_program
+from repro.transform import decide_transformations
+from repro.tune.space import (
+    PlanSpace,
+    enumerate_space,
+    space_candidate_plans,
+)
+
+
+@pytest.fixture(scope="module")
+def counter_space(counter_checked):
+    pa = analyze_program(counter_checked, 4)
+    heuristic = decide_transformations(pa).canonical()
+    return pa, heuristic, enumerate_space(pa, heuristic_plan=heuristic)
+
+
+@pytest.fixture(scope="module")
+def heap_space(heap_checked):
+    pa = analyze_program(heap_checked, 4)
+    heuristic = decide_transformations(pa).canonical()
+    return pa, heuristic, enumerate_space(pa, heuristic_plan=heuristic)
+
+
+class TestEnumeration:
+    def test_counter_structures(self, counter_space):
+        _pa, _h, space = counter_space
+        by_name = {sc.target: sc for sc in space.structures}
+        # the two per-process arrays and the lock-guarded total scalar
+        assert set(by_name) == {"counter", "sums", "total"}
+        # arrays: none, group(partition), pad-per-element, pad-whole
+        assert len(by_name["counter"].actions) == 4
+        assert len(by_name["sums"].actions) == 4
+        # shared scalar: none, pad
+        assert len(by_name["total"].actions) == 2
+
+    def test_action_zero_is_none(self, counter_space, heap_space):
+        for space in (counter_space[2], heap_space[2]):
+            for sc in space.structures:
+                assert sc.actions[0].kind == "none"
+                assert not sc.actions[0].group
+                assert not sc.actions[0].pads
+                assert not sc.actions[0].indirections
+                for act in sc.actions:
+                    assert act.target == sc.target
+
+    def test_size_is_product(self, counter_space):
+        _pa, _h, space = counter_space
+        n = 1
+        for sc in space.structures:
+            n *= len(sc.actions)
+        assert space.size == n == 4 * 4 * 2
+        assert len(list(space.choice_vectors())) == space.size
+
+    def test_locks_fixed_not_searched(self, counter_space):
+        _pa, _h, space = counter_space
+        assert [str(lp) for lp in space.fixed.lock_pads]
+        assert all("biglock" not in sc.target for sc in space.structures)
+
+    def test_heap_fields_get_indirection_only(self, heap_space):
+        _pa, _h, space = heap_space
+        by_name = {sc.target: sc for sc in space.structures}
+        for field in ("nodes[*].count", "nodes[*].value"):
+            kinds = [a.kind for a in by_name[field].actions]
+            assert kinds == ["none", "indirection"]
+
+    def test_weights_ordered_heaviest_first(self, counter_space):
+        _pa, _h, space = counter_space
+        weights = [sc.weight for sc in space.structures]
+        assert weights == sorted(weights, reverse=True)
+
+
+class TestCompose:
+    def test_all_none_is_fixed_part_only(self, counter_space):
+        _pa, _h, space = counter_space
+        plan = space.compose((0,) * len(space.structures))
+        assert not plan.group and not plan.pads and not plan.indirections
+        assert plan.lock_pads  # locks always ride along
+
+    def test_compose_is_canonical(self, counter_space):
+        _pa, _h, space = counter_space
+        vec = tuple(len(sc.actions) - 1 for sc in space.structures)
+        plan = space.compose(vec)
+        assert plan.fingerprint == plan.canonical().fingerprint
+        assert plan.describe() == plan.canonical().describe()
+
+    def test_compose_records_tuner_decisions(self, counter_space):
+        _pa, _h, space = counter_space
+        plan = space.compose((1,) + (0,) * (len(space.structures) - 1))
+        assert len(plan.decisions) == len(space.structures)
+        assert all(d.reason.startswith("tuner:") for d in plan.decisions)
+
+    def test_wrong_vector_length_rejected(self, counter_space):
+        _pa, _h, space = counter_space
+        with pytest.raises(ValueError):
+            space.compose((0,))
+
+
+class TestHeuristicInSpace:
+    """The guarantee behind "tuned never worse": the heuristic plan is a
+    point in the space, recoverable by match_plan."""
+
+    def test_counter_roundtrip(self, counter_space):
+        _pa, heuristic, space = counter_space
+        vec = space.match_plan(heuristic)
+        assert space.compose(vec).fingerprint == heuristic.fingerprint
+
+    def test_heap_roundtrip(self, heap_space):
+        _pa, heuristic, space = heap_space
+        vec = space.match_plan(heuristic)
+        assert space.compose(vec).fingerprint == heuristic.fingerprint
+
+    def test_empty_plan_maps_to_all_none(self, counter_space):
+        from repro.transform.plan import TransformPlan
+
+        _pa, _h, space = counter_space
+        vec = space.match_plan(TransformPlan(nprocs=4))
+        assert vec == (0,) * len(space.structures)
+
+
+class TestFrozenStructures:
+    def test_max_structures_cut(self, counter_space):
+        pa, heuristic, full = counter_space
+        small = enumerate_space(
+            pa, max_structures=1, heuristic_plan=heuristic
+        )
+        assert len(small.structures) == 1
+        # the cut keeps the heaviest structure
+        assert small.structures[0].target == full.structures[0].target
+        assert set(small.frozen) == {
+            sc.target for sc in full.structures[1:]
+        }
+
+    def test_frozen_keep_heuristic_fragments(self, counter_space):
+        pa, heuristic, _full = counter_space
+        small = enumerate_space(
+            pa, max_structures=1, heuristic_plan=heuristic
+        )
+        # 'sums' is frozen; the heuristic groups it, so the fixed plan
+        # must carry that group member
+        frozen_bases = {m.base for m in small.fixed.group}
+        heuristic_bases = {m.base for m in heuristic.group}
+        kept = small.structures[0].target
+        assert frozen_bases == {
+            b for b in heuristic_bases if b != kept
+        }
+
+    def test_heuristic_still_reachable_after_cut(self, counter_space):
+        pa, heuristic, _full = counter_space
+        small = enumerate_space(
+            pa, max_structures=1, heuristic_plan=heuristic
+        )
+        vec = small.match_plan(heuristic)
+        assert small.compose(vec).fingerprint == heuristic.fingerprint
+
+
+class TestFuzzHook:
+    def test_candidates_distinct_and_bounded(self, counter_checked):
+        cands = space_candidate_plans(counter_checked, 4, limit=6)
+        assert 0 < len(cands) <= 6
+        fps = [p.fingerprint for _label, p in cands]
+        assert len(set(fps)) == len(fps)
+        for label, _p in cands:
+            assert label.startswith("space[")
+
+    def test_includes_none_and_heuristic(self, counter_checked):
+        pa = analyze_program(counter_checked, 4)
+        heuristic = decide_transformations(pa).canonical()
+        space = enumerate_space(pa, heuristic_plan=heuristic)
+        none_fp = space.compose((0,) * len(space.structures)).fingerprint
+        cands = space_candidate_plans(counter_checked, 4, limit=12)
+        fps = {p.fingerprint for _label, p in cands}
+        assert none_fp in fps
+        assert heuristic.fingerprint in fps
+
+    def test_deterministic(self, heap_checked):
+        a = space_candidate_plans(heap_checked, 4, limit=8)
+        b = space_candidate_plans(heap_checked, 4, limit=8)
+        assert [(l, p.fingerprint) for l, p in a] == [
+            (l, p.fingerprint) for l, p in b
+        ]
