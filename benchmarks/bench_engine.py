@@ -1,18 +1,49 @@
 """Micro-benchmarks of the fast-path simulation engine: trace freeze,
-event-stream precompute, fast vs reference simulator throughput, and
-the simulation memo.
+event-stream precompute, reference vs fast vs native-kernel simulator
+throughput, the simulation memo — and the headline warm-grid timing,
+which appends a machine-readable point to
+``benchmarks/results/BENCH_engine.json`` (python-core vs native-kernel
+wall-clock over the full experiment grid with a warm trace cache).
 
 Baselines recorded in ``benchmarks/results/engine_baseline.txt``; see
-EXPERIMENTS.md ("The performance engine") for the measurement
-protocol.
+EXPERIMENTS.md ("The performance engine") and docs/PERFORMANCE.md for
+the measurement protocol.
 """
 
+import json
+import os
+import time
+from pathlib import Path
+
 import numpy as np
+import pytest
 
 from repro.runtime.trace import Trace, TraceBuffer
 from repro.sim import CacheConfig, build_events, simulate_trace
 from repro.sim.engine import simulate_trace_fast
+from repro.sim.kernel import KERNEL_ENV, load_kernel
 from repro.sim.simcache import cached_simulate, clear
+
+HAVE_NATIVE = load_kernel() is not None
+
+BENCH_JSON = Path(__file__).parent / "results" / "BENCH_engine.json"
+
+
+def append_bench_point(point: dict, path: Path = BENCH_JSON) -> Path:
+    """Append one timing point to ``BENCH_engine.json`` (a JSON list;
+    created when absent)."""
+    points: list[dict] = []
+    if path.exists():
+        try:
+            loaded = json.loads(path.read_text())
+            if isinstance(loaded, list):
+                points = loaded
+        except (OSError, ValueError):
+            points = []
+    points.append(point)
+    path.parent.mkdir(exist_ok=True)
+    path.write_text(json.dumps(points, indent=2) + "\n")
+    return path
 
 
 def synthetic_trace(n=200_000, procs=8, seed=7):
@@ -68,6 +99,79 @@ def test_sim_throughput_fast(benchmark):
 
     res = benchmark.pedantic(go, rounds=2, iterations=1)
     assert res.refs >= 60_000
+
+
+@pytest.mark.skipif(not HAVE_NATIVE, reason="native kernel unavailable")
+def test_sim_throughput_native(benchmark):
+    """The compiled protocol core on the same event stream as
+    ``test_sim_throughput_fast`` — the per-event dispatch comparison."""
+    trace = synthetic_trace(n=60_000)
+    cfg = CacheConfig(size=32 * 1024, block_size=128, assoc=4)
+    events = build_events(trace, 128)
+
+    def go():
+        return simulate_trace_fast(trace, 8, cfg, events=events,
+                                   kernel="native")
+
+    res = benchmark.pedantic(go, rounds=3, iterations=1)
+    assert res.refs >= 60_000 and res.kernel == "native"
+
+
+def _time_grid(lab) -> float:
+    """One timed pass of the full experiment grid (runs already warm;
+    simulation memos cleared so the protocol core really executes)."""
+    from repro.harness import figure3, figure4, headline, table2, table3
+
+    clear()
+    t0 = time.perf_counter()
+    figure3(lab=lab)
+    table2(lab=lab)
+    figure4(lab=lab)
+    table3(lab=lab)
+    headline(lab=lab)
+    return time.perf_counter() - t0
+
+
+def test_grid_warm_kernel_speedup(lab):
+    """The headline measurement: the full experiment grid, warm trace
+    cache, python core vs native kernel.  Appends the timings to
+    ``benchmarks/results/BENCH_engine.json`` and (when the native
+    kernel is available) asserts the documented speedup floor."""
+    _time_grid(lab)  # warm-up: interpret/load every run, fill event memos
+
+    old = os.environ.get(KERNEL_ENV)
+    try:
+        os.environ[KERNEL_ENV] = "python"
+        python_s = _time_grid(lab)
+        if HAVE_NATIVE:
+            os.environ[KERNEL_ENV] = "native"
+            native_s = _time_grid(lab)
+        else:
+            native_s = None
+    finally:
+        if old is None:
+            os.environ.pop(KERNEL_ENV, None)
+        else:
+            os.environ[KERNEL_ENV] = old
+
+    speedup = (python_s / native_s) if native_s else None
+    point = {
+        "bench": "grid_warm",
+        "python_seconds": round(python_s, 3),
+        "native_seconds": round(native_s, 3) if native_s else None,
+        "speedup": round(speedup, 2) if speedup else None,
+        "native_available": HAVE_NATIVE,
+        "ts": time.strftime("%Y-%m-%dT%H:%M:%S"),
+    }
+    path = append_bench_point(point)
+    print(f"\nwarm grid: python {python_s:.2f}s"
+          + (f", native {native_s:.2f}s ({speedup:.1f}x)" if native_s else "")
+          + f" -> {path}")
+    if HAVE_NATIVE:
+        assert speedup >= 5.0, (
+            f"native kernel warm-grid speedup {speedup:.2f}x is below "
+            "the documented 5x floor"
+        )
 
 
 def test_sim_memo_hit(benchmark):

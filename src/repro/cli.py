@@ -573,6 +573,13 @@ def build_parser() -> argparse.ArgumentParser:
         p.add_argument("-p", "--nprocs", type=int, default=8)
         p.add_argument("-b", "--block-size", type=int, default=128)
         p.add_argument("-v", "--verbose", action="store_true")
+        p.add_argument(
+            "--sim-kernel", choices=["auto", "native", "python"],
+            default=None, metavar="KERNEL",
+            help="protocol core: auto (default), native (compiled, "
+            "error if unavailable), python (reference); also "
+            "$REPRO_SIM_KERNEL — see docs/PERFORMANCE.md",
+        )
 
     def profiled(p):
         p.add_argument(
@@ -729,6 +736,12 @@ def build_parser() -> argparse.ArgumentParser:
 def main(argv: list[str] | None = None) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
+    if getattr(args, "sim_kernel", None):
+        import os
+
+        from repro.sim.kernel import KERNEL_ENV
+
+        os.environ[KERNEL_ENV] = args.sim_kernel
     try:
         return args.func(args)
     except ReproError as e:

@@ -109,12 +109,17 @@ class Interpreter:
         *,
         quantum: int = 4,
         max_steps: int = 200_000_000,
+        trace_sink=None,
     ):
         self.checked = checked
         self.layout = layout
         self.nprocs = nprocs
         self.mem: dict[int, object] = {}
-        self.trace = TraceBuffer()
+        #: ``trace_sink`` swaps the materializing buffer for a streaming
+        #: one (same ``append``/``freeze`` protocol — see
+        #: :class:`repro.runtime.stream.ChunkSink`); the interpreter
+        #: itself never holds more than the sink retains.
+        self.trace = trace_sink if trace_sink is not None else TraceBuffer()
         self.sched = Scheduler(quantum=quantum, max_steps=max_steps)
         self.heap_cursor = HEAP_BASE
         self.arena_cursors: dict[int, int] = {}

@@ -9,11 +9,17 @@ scheduler quantum, step limit)`` — so the complete
 hash of those inputs, and *repeat benchmark runs skip interpretation
 entirely*.
 
-Layout: one ``<key>.npz`` per run under the cache directory, holding
-the four trace columns plus a JSON blob with the scalar counters.
-Writes go through a temp file + :func:`os.replace`, so concurrent
-writers (the parallel experiment lab) are safe: last writer wins with
-an identical payload.
+Layout: one ``<key>.npz`` per run under the cache directory.  Small
+runs hold the four trace columns whole (``proc``/``addr``/``size``/
+``is_write``); runs at or above ``REPRO_TRACE_SHARD_REFS`` references
+are stored as **chunked shards** — per-chunk members ``proc_0000``,
+``addr_0000``, … — written incrementally (peak memory O(chunk)) and
+replayable incrementally via :func:`open_run`, which is how the
+streaming simulation boundary replays big workloads without ever
+materializing them.  Either way a JSON ``meta`` member carries the
+scalar counters.  Writes go through a temp file + :func:`os.replace`,
+so concurrent writers (the parallel experiment lab) are safe: last
+writer wins with an identical payload.
 
 Environment knobs
 -----------------
@@ -25,6 +31,14 @@ Environment knobs
     Minimum shared-reference count for a run to be persisted
     (default 4096) — keeps unit-test-sized runs from littering the
     cache.
+``REPRO_TRACE_CACHE_MAX_MB``
+    Size budget for the cache directory.  When a store pushes the
+    total over the budget, least-recently-*used* entries are evicted
+    (every cache hit refreshes its entry's mtime) until the directory
+    fits, logging what was dropped.  Unset/0 = unbounded.
+``REPRO_TRACE_SHARD_REFS``
+    Reference count at which a stored trace switches to chunked
+    shards (default 1048576; 0 forces sharding off).
 
 Invalidation: keys include :data:`SCHEMA` — bump it whenever the
 interpreter's observable behaviour (addresses, scheduling, counters)
@@ -39,7 +53,10 @@ import json
 import logging
 import os
 import tempfile
+import time
+import zipfile
 from pathlib import Path
+from typing import Iterator
 
 import numpy as np
 
@@ -60,7 +77,11 @@ _REQUIRED_META = (
 
 _ENV_DIR = "REPRO_TRACE_CACHE"
 _ENV_MIN = "REPRO_TRACE_CACHE_MIN"
+_ENV_MAX_MB = "REPRO_TRACE_CACHE_MAX_MB"
+_ENV_SHARD = "REPRO_TRACE_SHARD_REFS"
 _DISABLED = {"0", "off", "no", "none", "false"}
+
+_COLUMNS = ("proc", "addr", "size", "is_write")
 
 
 def cache_dir() -> Path | None:
@@ -78,6 +99,24 @@ def min_refs() -> int:
         return int(os.environ.get(_ENV_MIN, "4096"))
     except ValueError:
         return 4096
+
+
+def max_bytes() -> int:
+    """The eviction budget in bytes (0 = unbounded)."""
+    try:
+        mb = float(os.environ.get(_ENV_MAX_MB, "0"))
+    except ValueError:
+        return 0
+    return int(mb * 1024 * 1024) if mb > 0 else 0
+
+
+def shard_refs() -> int:
+    """References per stored shard (0 disables sharding)."""
+    try:
+        n = int(os.environ.get(_ENV_SHARD, str(1 << 20)))
+    except ValueError:
+        return 1 << 20
+    return max(n, 0)
 
 
 def run_key(
@@ -105,32 +144,20 @@ def _path_for(key: str) -> Path | None:
     return None if root is None else root / f"{key}.npz"
 
 
-def _validated_run(z, key: str) -> RunResult:
-    """Decode and *validate* one cache entry; raises on any deformity.
+def _meta_dict(key: str, run: RunResult) -> dict:
+    return {
+        "key": key,
+        "nprocs": run.nprocs,
+        "work": run.work,
+        "private_refs": run.private_refs,
+        "shared_refs": run.shared_refs,
+        "output": run.output,
+        "exit_value": run.exit_value,
+        "heap_segments": run.heap_segments,
+    }
 
-    Validation covers the failure modes a shared on-disk cache actually
-    sees: truncated ``.npz`` payloads, garbage bytes, entries written by
-    an older layout, and stale-key collisions (a file renamed or a hash
-    prefix reused for different inputs) — the ``key`` echoed in the
-    metadata must match the key being asked for.
-    """
-    meta = json.loads(bytes(z["meta"]).decode())
-    missing = [f for f in _REQUIRED_META if f not in meta]
-    if missing:
-        raise ValueError(f"metadata missing fields {missing}")
-    if meta["key"] != key:
-        raise ValueError(
-            f"stale-key collision: entry identifies as {meta['key'][:12]}…, "
-            f"requested {key[:12]}…"
-        )
-    columns = {name: z[name] for name in ("proc", "addr", "size", "is_write")}
-    lengths = {name: len(col) for name, col in columns.items()}
-    if len(set(lengths.values())) != 1:
-        raise ValueError(f"trace columns disagree on length: {lengths}")
-    trace = Trace(
-        proc=columns["proc"], addr=columns["addr"],
-        size=columns["size"], is_write=columns["is_write"].astype(bool),
-    )
+
+def _run_from_meta(meta: dict, trace: Trace) -> RunResult:
     return RunResult(
         trace=trace,
         nprocs=int(meta["nprocs"]),
@@ -141,6 +168,75 @@ def _validated_run(z, key: str) -> RunResult:
         exit_value=meta["exit_value"],
         heap_segments=[tuple(seg) for seg in meta["heap_segments"]],
     )
+
+
+def _check_meta(meta: dict, key: str | None) -> None:
+    missing = [f for f in _REQUIRED_META if f not in meta]
+    if missing:
+        raise ValueError(f"metadata missing fields {missing}")
+    if key is not None and meta["key"] != key:
+        raise ValueError(
+            f"stale-key collision: entry identifies as {meta['key'][:12]}…, "
+            f"requested {key[:12]}…"
+        )
+
+
+def _chunk_members(i: int) -> tuple[str, ...]:
+    return tuple(f"{c}_{i:04d}" for c in _COLUMNS)
+
+
+def _chunk_trace(z, i: int) -> Trace:
+    pn, an, sn, wn = _chunk_members(i)
+    cols = {name: z[member] for name, member in
+            zip(_COLUMNS, (pn, an, sn, wn))}
+    lengths = {name: len(col) for name, col in cols.items()}
+    if len(set(lengths.values())) != 1:
+        raise ValueError(f"shard {i} columns disagree on length: {lengths}")
+    return Trace(
+        proc=cols["proc"], addr=cols["addr"],
+        size=cols["size"], is_write=cols["is_write"].astype(bool),
+    )
+
+
+def _validated_run(z, key: str | None) -> RunResult:
+    """Decode and *validate* one cache entry; raises on any deformity.
+
+    Validation covers the failure modes a shared on-disk cache actually
+    sees: truncated ``.npz`` payloads, garbage bytes, entries written by
+    an older layout, and stale-key collisions (a file renamed or a hash
+    prefix reused for different inputs) — the ``key`` echoed in the
+    metadata must match the key being asked for.  Handles both the
+    whole-column and the chunked-shard layouts.
+    """
+    meta = json.loads(bytes(z["meta"]).decode())
+    _check_meta(meta, key)
+    nchunks = int(meta.get("chunks", 0))
+    if nchunks:
+        chunks = [_chunk_trace(z, i) for i in range(nchunks)]
+        trace = Trace(
+            proc=np.concatenate([c.proc for c in chunks]),
+            addr=np.concatenate([c.addr for c in chunks]),
+            size=np.concatenate([c.size for c in chunks]),
+            is_write=np.concatenate([c.is_write for c in chunks]),
+        )
+        return _run_from_meta(meta, trace)
+    columns = {name: z[name] for name in _COLUMNS}
+    lengths = {name: len(col) for name, col in columns.items()}
+    if len(set(lengths.values())) != 1:
+        raise ValueError(f"trace columns disagree on length: {lengths}")
+    trace = Trace(
+        proc=columns["proc"], addr=columns["addr"],
+        size=columns["size"], is_write=columns["is_write"].astype(bool),
+    )
+    return _run_from_meta(meta, trace)
+
+
+def _touch(path: Path) -> None:
+    """Refresh the entry's recency for LRU eviction."""
+    try:
+        os.utime(path, None)
+    except OSError:
+        pass
 
 
 def load_run(key: str) -> RunResult | None:
@@ -170,7 +266,86 @@ def load_run(key: str) -> RunResult | None:
             pass
         return None
     perf.add("trace_cache.hit")
+    _touch(path)
     return run
+
+
+class StoredRun:
+    """Streaming view of one persisted run.
+
+    ``meta`` is the :class:`~repro.runtime.trace.RunResult` counters
+    with an *empty* trace; :meth:`chunks` yields the trace as
+    :class:`~repro.runtime.trace.Trace` chunks, reading one shard at a
+    time (whole-column entries yield a single chunk).  Keep the handle
+    open while iterating; it is a context manager.
+    """
+
+    def __init__(self, path: Path):
+        self._path = path
+        self._z = np.load(path, allow_pickle=False)
+        meta = json.loads(bytes(self._z["meta"]).decode())
+        _check_meta(meta, None)
+        self.nchunks = int(meta.get("chunks", 0))
+        empty = Trace(
+            proc=np.empty(0, np.int32), addr=np.empty(0, np.int64),
+            size=np.empty(0, np.int32), is_write=np.empty(0, bool),
+        )
+        self.meta = _run_from_meta(meta, empty)
+
+    def chunks(self) -> Iterator[Trace]:
+        if self.nchunks == 0:
+            yield _whole_trace(self._z)
+            return
+        for i in range(self.nchunks):
+            yield _chunk_trace(self._z, i)
+
+    def close(self) -> None:
+        self._z.close()
+
+    def __enter__(self) -> "StoredRun":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+
+def _whole_trace(z) -> Trace:
+    columns = {name: z[name] for name in _COLUMNS}
+    lengths = {name: len(col) for name, col in columns.items()}
+    if len(set(lengths.values())) != 1:
+        raise ValueError(f"trace columns disagree on length: {lengths}")
+    return Trace(
+        proc=columns["proc"], addr=columns["addr"],
+        size=columns["size"], is_write=columns["is_write"].astype(bool),
+    )
+
+
+def open_run(key: str) -> StoredRun | None:
+    """Open a persisted run for **chunk-streamed replay** (the
+    simulation side never materializes the whole trace).  None on
+    miss/corruption/disabled; corrupt entries are dropped."""
+    path = _path_for(key)
+    if path is None or not path.exists():
+        perf.add("trace_cache.miss")
+        return None
+    try:
+        stored = StoredRun(path)
+        if stored.meta is None:  # pragma: no cover - defensive
+            raise ValueError("no metadata")
+    except Exception as e:
+        perf.add("trace_cache.corrupt")
+        log.warning(
+            "trace cache entry %s is unusable (%s: %s); dropping it",
+            path.name, type(e).__name__, e,
+        )
+        try:
+            path.unlink()
+        except OSError:
+            pass
+        return None
+    perf.add("trace_cache.hit")
+    _touch(path)
+    return stored
 
 
 def load_file(path: str | Path) -> RunResult:
@@ -191,11 +366,7 @@ def load_file(path: str | Path) -> RunResult:
         raise ReproError(f"trace file {p} does not exist")
     try:
         with np.load(p, allow_pickle=False) as z:
-            meta = json.loads(bytes(z["meta"]).decode())
-            missing = [f for f in _REQUIRED_META if f not in meta]
-            if missing:
-                raise ValueError(f"metadata missing fields {missing}")
-            return _validated_run(z, meta["key"])
+            return _validated_run(z, None)
     except ReproError:
         raise
     except Exception as e:
@@ -205,23 +376,127 @@ def load_file(path: str | Path) -> RunResult:
         ) from e
 
 
+class ShardWriter:
+    """Incremental writer for a chunked cache entry.
+
+    Feed trace chunks with :meth:`add` as they stream past (peak memory
+    O(chunk)); :meth:`finish` seals the entry with its metadata and
+    atomically publishes it.  :meth:`abort` (or ``finish`` never being
+    called) leaves no trace in the cache directory.
+    """
+
+    def __init__(self, key: str):
+        self.key = key
+        self._path = _path_for(key)
+        self._zf: zipfile.ZipFile | None = None
+        self._tmp: str | None = None
+        self._n = 0
+        self._refs = 0
+        if self._path is None:
+            return
+        try:
+            self._path.parent.mkdir(parents=True, exist_ok=True)
+            fd, self._tmp = tempfile.mkstemp(
+                dir=self._path.parent, prefix=".tmp-", suffix=".npz"
+            )
+            self._zf = zipfile.ZipFile(
+                os.fdopen(fd, "wb"), "w", zipfile.ZIP_STORED
+            )
+        except OSError:
+            perf.add("trace_cache.store_failed")
+            self._cleanup()
+
+    @property
+    def active(self) -> bool:
+        return self._zf is not None
+
+    def _member(self, name: str, arr: np.ndarray) -> None:
+        assert self._zf is not None
+        with self._zf.open(f"{name}.npy", "w", force_zip64=True) as fh:
+            np.save(fh, arr)
+
+    def add(self, chunk: Trace) -> None:
+        if self._zf is None or len(chunk) == 0:
+            return
+        try:
+            pn, an, sn, wn = _chunk_members(self._n)
+            self._member(pn, chunk.proc)
+            self._member(an, chunk.addr)
+            self._member(sn, chunk.size)
+            self._member(wn, chunk.is_write)
+            self._n += 1
+            self._refs += len(chunk)
+        except OSError:
+            perf.add("trace_cache.store_failed")
+            self._cleanup()
+
+    def finish(self, run: RunResult) -> bool:
+        """Seal and publish; False when the entry was not written
+        (disabled cache, too small, or an I/O failure along the way)."""
+        if self._zf is None:
+            return False
+        if self._refs < min_refs():
+            self._cleanup()
+            return False
+        meta = _meta_dict(self.key, run)
+        meta["chunks"] = self._n
+        try:
+            self._member("meta", np.frombuffer(
+                json.dumps(meta).encode(), dtype=np.uint8
+            ))
+            self._zf.close()
+            self._zf = None
+            assert self._tmp is not None and self._path is not None
+            os.replace(self._tmp, self._path)
+            self._tmp = None
+        except OSError:
+            perf.add("trace_cache.store_failed")
+            self._cleanup()
+            return False
+        perf.add("trace_cache.store")
+        _enforce_budget(self._path)
+        return True
+
+    def abort(self) -> None:
+        self._cleanup()
+
+    def _cleanup(self) -> None:
+        if self._zf is not None:
+            try:
+                self._zf.close()
+            except OSError:
+                pass
+            self._zf = None
+        if self._tmp is not None:
+            try:
+                os.unlink(self._tmp)
+            except OSError:
+                pass
+            self._tmp = None
+
+
 def store_run(key: str, run: RunResult) -> bool:
-    """Persist ``run`` under ``key``; returns True when written."""
+    """Persist ``run`` under ``key``; returns True when written.
+
+    Traces at or above ``REPRO_TRACE_SHARD_REFS`` references are stored
+    chunked (replayable shard by shard); smaller ones keep the compact
+    whole-column layout.
+    """
     path = _path_for(key)
     if path is None or len(run.trace) < min_refs():
         return False
-    meta = json.dumps(
-        {
-            "key": key,
-            "nprocs": run.nprocs,
-            "work": run.work,
-            "private_refs": run.private_refs,
-            "shared_refs": run.shared_refs,
-            "output": run.output,
-            "exit_value": run.exit_value,
-            "heap_segments": run.heap_segments,
-        }
-    ).encode()
+    shard = shard_refs()
+    if shard and len(run.trace) >= shard:
+        writer = ShardWriter(key)
+        tr = run.trace
+        for start in range(0, len(tr), shard):
+            stop = min(start + shard, len(tr))
+            writer.add(Trace(
+                proc=tr.proc[start:stop], addr=tr.addr[start:stop],
+                size=tr.size[start:stop], is_write=tr.is_write[start:stop],
+            ))
+        return writer.finish(run)
+    meta = json.dumps(_meta_dict(key, run)).encode()
     try:
         path.parent.mkdir(parents=True, exist_ok=True)
         fd, tmp = tempfile.mkstemp(
@@ -248,7 +523,51 @@ def store_run(key: str, run: RunResult) -> bool:
         perf.add("trace_cache.store_failed")
         return False
     perf.add("trace_cache.store")
+    _enforce_budget(path)
     return True
+
+
+def _enforce_budget(just_stored: Path | None = None) -> list[str]:
+    """Evict least-recently-used entries until the directory fits the
+    ``REPRO_TRACE_CACHE_MAX_MB`` budget.  Returns the evicted file
+    names (for tests and logs).  The entry just stored is exempt — a
+    store must never evict its own payload before first use.
+    """
+    budget = max_bytes()
+    root = cache_dir()
+    if not budget or root is None or not root.exists():
+        return []
+    entries = []
+    total = 0
+    for p in root.glob("*.npz"):
+        try:
+            st = p.stat()
+        except OSError:
+            continue
+        entries.append((st.st_mtime, st.st_size, p))
+        total += st.st_size
+    if total <= budget:
+        return []
+    evicted: list[str] = []
+    entries.sort()  # oldest mtime (= least recently used) first
+    for _mtime, size, p in entries:
+        if total <= budget:
+            break
+        if just_stored is not None and p == just_stored:
+            continue
+        try:
+            p.unlink()
+        except OSError:
+            continue
+        total -= size
+        evicted.append(p.name)
+        perf.add("trace_cache.evicted")
+    if evicted:
+        log.info(
+            "trace cache over budget (%d MB): evicted %d LRU entries (%s)",
+            budget // (1024 * 1024), len(evicted), ", ".join(evicted[:8]),
+        )
+    return evicted
 
 
 def prune() -> int:
@@ -264,3 +583,7 @@ def prune() -> int:
         except OSError:
             pass
     return n
+
+
+# re-exported for tests that freeze time deterministically
+_time = time

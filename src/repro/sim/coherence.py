@@ -145,6 +145,8 @@ class SimResult:
     sim_seconds: float = 0.0
     #: which path produced this result ("reference" | "fast")
     engine: str = "reference"
+    #: which protocol core ran the event loop ("python" | "native")
+    kernel: str = "python"
 
     @property
     def total_misses(self) -> int:

@@ -92,6 +92,22 @@ class EventStream:
         """Fraction of block accesses removed by compaction."""
         return 1.0 - len(self.block) / self.n_refs if self.n_refs else 0.0
 
+    def slice(self, start: int, stop: int) -> "EventStream":
+        """A zero-copy view of events ``[start:stop)`` (``n_refs`` is
+        recomputed from the slice's repeat counts)."""
+        rep = self.repeat[start:stop]
+        return EventStream(
+            block_size=self.block_size,
+            word_granularity=self.word_granularity,
+            proc=self.proc[start:stop],
+            block=self.block[start:stop],
+            w_lo=self.w_lo[start:stop],
+            w_hi=self.w_hi[start:stop],
+            is_write=self.is_write[start:stop],
+            repeat=rep,
+            n_refs=int(rep.sum()),
+        )
+
 
 def build_events(
     trace: Trace,
@@ -109,20 +125,21 @@ def build_events(
         return _build(trace, block_size, word_granularity, compact)
 
 
-def _build(
-    trace: Trace, bs: int, word_granularity: bool, compact: bool
-) -> EventStream:
-    n = len(trace)
+def _empty_stream(bs: int, word_granularity: bool) -> EventStream:
     empty = np.empty(0, dtype=np.int64)
-    if n == 0:
-        return EventStream(
-            block_size=bs, word_granularity=word_granularity,
-            proc=empty, block=empty, w_lo=empty, w_hi=empty,
-            is_write=np.empty(0, dtype=bool), repeat=empty, n_refs=0,
-        )
+    return EventStream(
+        block_size=bs, word_granularity=word_granularity,
+        proc=empty, block=empty, w_lo=empty, w_hi=empty,
+        is_write=np.empty(0, dtype=bool), repeat=empty, n_refs=0,
+    )
 
-    addr = trace.addr.astype(np.int64, copy=False)
-    size = np.maximum(trace.size.astype(np.int64, copy=False), 1)
+
+def _split_columns(proc_col, addr_col, size_col, write_col, bs: int):
+    """Vectorized block split of raw trace columns into pre-split event
+    columns ``(proc, block, w_lo, w_hi, is_write)``."""
+    n = len(addr_col)
+    addr = addr_col.astype(np.int64, copy=False)
+    size = np.maximum(size_col.astype(np.int64, copy=False), 1)
     end = addr + size
     first = addr // bs
     last = (end - 1) // bs
@@ -138,17 +155,41 @@ def _build(
         block = first[idx] + within
         lo = np.maximum(addr[idx], block * bs)
         hi = np.minimum(end[idx], (block + 1) * bs)
-        proc = trace.proc[idx].astype(np.int64, copy=False)
-        is_write = trace.is_write[idx]
+        proc = proc_col[idx].astype(np.int64, copy=False)
+        is_write = write_col[idx]
     else:
         block = first
         lo = addr
         hi = end
-        proc = trace.proc.astype(np.int64, copy=False)
-        is_write = np.asarray(trace.is_write, dtype=bool)
+        proc = proc_col.astype(np.int64, copy=False)
+        is_write = np.asarray(write_col, dtype=bool)
 
     w_lo = lo // WORD
     w_hi = (hi + WORD - 1) // WORD
+    return proc, block, w_lo, w_hi, is_write
+
+
+def _drop_mask(proc, block, w_lo, w_hi, is_write, word_granularity: bool):
+    """``drop[i]`` marks event ``i + 1`` foldable into event ``i``
+    (see the module docstring for the compaction rules)."""
+    same_pb = (proc[1:] == proc[:-1]) & (block[1:] == block[:-1])
+    same_words = (w_lo[1:] == w_lo[:-1]) & (w_hi[1:] == w_hi[:-1])
+    wr_cur = is_write[1:]
+    wr_prev = is_write[:-1]
+    if word_granularity:
+        return same_pb & same_words & ~wr_cur & ~wr_prev
+    return same_pb & (~wr_cur | (wr_prev & same_words))
+
+
+def _build(
+    trace: Trace, bs: int, word_granularity: bool, compact: bool
+) -> EventStream:
+    if len(trace) == 0:
+        return _empty_stream(bs, word_granularity)
+
+    proc, block, w_lo, w_hi, is_write = _split_columns(
+        trace.proc, trace.addr, trace.size, trace.is_write, bs
+    )
 
     m = len(block)
     perf.add("events.split_refs", m)
@@ -160,14 +201,7 @@ def _build(
             is_write=is_write, repeat=repeat, n_refs=m,
         )
 
-    same_pb = (proc[1:] == proc[:-1]) & (block[1:] == block[:-1])
-    same_words = (w_lo[1:] == w_lo[:-1]) & (w_hi[1:] == w_hi[:-1])
-    wr_cur = is_write[1:]
-    wr_prev = is_write[:-1]
-    if word_granularity:
-        drop = same_pb & same_words & ~wr_cur & ~wr_prev
-    else:
-        drop = same_pb & (~wr_cur | (wr_prev & same_words))
+    drop = _drop_mask(proc, block, w_lo, w_hi, is_write, word_granularity)
     keep = np.empty(m, dtype=bool)
     keep[0] = True
     np.logical_not(drop, out=keep[1:])
@@ -180,3 +214,112 @@ def _build(
         w_lo=w_lo[kept], w_hi=w_hi[kept],
         is_write=is_write[kept], repeat=repeat, n_refs=m,
     )
+
+
+class EventChunker:
+    """Streaming counterpart of :func:`build_events`.
+
+    Feed raw trace chunks in order; each :meth:`feed` returns an
+    :class:`EventStream` ready for the simulator, and :meth:`flush`
+    drains the tail.  The concatenation of everything emitted is
+    **identical** — event for event, repeat for repeat — to
+    ``build_events`` over the whole trace, regardless of how the trace
+    was chunked (property-tested across chunk sizes in
+    ``tests/test_stream.py``).
+
+    The trick is a one-event *carry*: run-length compaction folds an
+    event into its immediate predecessor, so the final compacted event
+    of a chunk cannot be emitted until the next chunk's head has had a
+    chance to fold into it.  The chunker therefore holds it back and
+    prepends it to the next chunk before compacting — the emitted
+    stream is then a boundary-free re-slicing of the monolithic one,
+    which is what makes chunked simulation bit-identical.
+    """
+
+    __slots__ = ("block_size", "word_granularity", "compact", "_carry")
+
+    def __init__(self, block_size: int, *, word_granularity: bool = False,
+                 compact: bool = True):
+        self.block_size = block_size
+        self.word_granularity = word_granularity
+        self.compact = compact
+        #: held-back last compacted event: (proc, block, w_lo, w_hi,
+        #: is_write, repeat) scalars, or None
+        self._carry: tuple | None = None
+
+    def _emit(self, proc, block, w_lo, w_hi, is_write, repeat) -> EventStream:
+        return EventStream(
+            block_size=self.block_size,
+            word_granularity=self.word_granularity,
+            proc=proc, block=block, w_lo=w_lo, w_hi=w_hi,
+            is_write=is_write, repeat=repeat,
+            n_refs=int(repeat.sum()),
+        )
+
+    def feed(self, proc_col, addr_col, size_col, write_col) -> EventStream:
+        """Ingest one trace chunk (four parallel columns); returns the
+        events that are final as of this chunk (possibly empty)."""
+        if len(addr_col) == 0:
+            return _empty_stream(self.block_size, self.word_granularity)
+        proc, block, w_lo, w_hi, is_write = _split_columns(
+            proc_col, addr_col, size_col, write_col, self.block_size
+        )
+        m = len(block)
+        perf.add("events.split_refs", m)
+        if not self.compact:
+            return self._emit(
+                proc, block, w_lo, w_hi, is_write,
+                np.ones(m, dtype=np.int64),
+            )
+        carry_rep = 1
+        if self._carry is not None:
+            cp, cb, cl, ch, cw, carry_rep = self._carry
+            proc = np.concatenate(([cp], proc))
+            block = np.concatenate(([cb], block))
+            w_lo = np.concatenate(([cl], w_lo))
+            w_hi = np.concatenate(([ch], w_hi))
+            is_write = np.concatenate(([cw], is_write)).astype(bool)
+            m += 1
+        if m >= 2:
+            drop = _drop_mask(
+                proc, block, w_lo, w_hi, is_write, self.word_granularity
+            )
+            keep = np.empty(m, dtype=bool)
+            keep[0] = True
+            np.logical_not(drop, out=keep[1:])
+            kept = np.flatnonzero(keep)
+            repeat = np.diff(np.append(kept, m))
+            perf.add("events.compacted_refs", m - len(kept))
+        else:
+            kept = np.zeros(1, dtype=np.int64)
+            repeat = np.ones(1, dtype=np.int64)
+        if self._carry is not None:
+            # the carried event was already a compacted run of carry_rep
+            repeat[0] += carry_rep - 1
+        # Hold back the final compacted event: the next chunk's head may
+        # still fold into it.
+        last = kept[-1]
+        self._carry = (
+            int(proc[last]), int(block[last]), int(w_lo[last]),
+            int(w_hi[last]), bool(is_write[last]), int(repeat[-1]),
+        )
+        sel = kept[:-1]
+        return self._emit(
+            proc[sel], block[sel], w_lo[sel], w_hi[sel], is_write[sel],
+            repeat[:-1],
+        )
+
+    def flush(self) -> EventStream:
+        """Emit the held-back tail event; the chunker is reusable after."""
+        if self._carry is None or not self.compact:
+            return _empty_stream(self.block_size, self.word_granularity)
+        cp, cb, cl, ch, cw, crep = self._carry
+        self._carry = None
+        return self._emit(
+            np.array([cp], dtype=np.int64),
+            np.array([cb], dtype=np.int64),
+            np.array([cl], dtype=np.int64),
+            np.array([ch], dtype=np.int64),
+            np.array([cw], dtype=bool),
+            np.array([crep], dtype=np.int64),
+        )

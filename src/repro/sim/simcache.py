@@ -67,19 +67,39 @@ def cached_simulate(
     extra_refs: int = 0,
     word_invalidate: bool = False,
     engine: str | None = None,
+    kernel: str | None = None,
+    chunk_refs: int | None = None,
 ) -> SimResult:
     """Simulate with the selected engine, memoizing per
-    (trace fingerprint, geometry, engine).
+    (trace fingerprint, geometry, engine, kernel, chunking).
+
+    The *resolved* kernel variant (native vs python) and the chunking
+    parameters are part of the memo key: two configurations that are
+    merely asserted equivalent must never share a cache slot, or a bug
+    in one could masquerade as the other's result (regression-tested in
+    ``tests/test_kernel.py``).
+
+    ``chunk_refs`` routes the simulation through the streaming boundary
+    (:func:`repro.sim.engine.simulate_trace_chunked`) in chunks of that
+    many references; ``None`` simulates the trace monolithically.
 
     The returned ``SimResult`` is shared between callers — treat it as
     read-only.
     """
     from repro.sim.coherence import simulate_trace
+    from repro.sim.engine import resolve_kernel, simulate_trace_chunked
 
     engine = engine or active_engine()
+    if engine == REFERENCE:
+        resolved_kernel = "python"
+    else:
+        resolved_kernel = resolve_kernel(
+            word_invalidate=word_invalidate, kernel=kernel
+        )
     key = (
         trace.fingerprint, nprocs, config.size, config.block_size,
         config.assoc, word_invalidate, extra_refs, engine,
+        resolved_kernel, chunk_refs or 0,
     )
     got = _results.get(key)
     if got is not None:
@@ -89,6 +109,7 @@ def cached_simulate(
     with obs.span(
         "sim.simulate",
         engine=engine,
+        kernel=resolved_kernel,
         nprocs=nprocs,
         block_size=config.block_size,
         refs=len(trace),
@@ -99,6 +120,13 @@ def cached_simulate(
                     trace, nprocs, config,
                     extra_refs=extra_refs, word_invalidate=word_invalidate,
                 )
+        elif chunk_refs:
+            with perf.timer("sim.fast"):
+                got = simulate_trace_chunked(
+                    trace, nprocs, config, chunk_refs,
+                    extra_refs=extra_refs, word_invalidate=word_invalidate,
+                    kernel=resolved_kernel,
+                )
         else:
             events = cached_events(
                 trace, config.block_size, word_granularity=word_invalidate
@@ -107,7 +135,7 @@ def cached_simulate(
                 got = simulate_trace_fast(
                     trace, nprocs, config,
                     extra_refs=extra_refs, word_invalidate=word_invalidate,
-                    events=events,
+                    events=events, kernel=resolved_kernel,
                 )
     _results[key] = got
     while len(_results) > MAX_RESULTS:

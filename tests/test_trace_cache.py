@@ -1,0 +1,206 @@
+"""Persistent trace cache: chunked shards, streaming writer, and the
+``REPRO_TRACE_CACHE_MAX_MB`` LRU size budget.
+
+The eviction policy under test: every *load* refreshes an entry's
+recency (mtime), stores enforce the budget afterwards, oldest-unused
+entries go first, and the entry just written is exempt — so the
+most-recently-used survivors are exactly the entries a warm experiment
+grid keeps re-reading.
+"""
+
+import logging
+import os
+import time
+
+import numpy as np
+import pytest
+
+from repro.runtime import trace_cache as tc
+from repro.runtime.trace import RunResult, Trace
+
+
+def make_run(n, seed, *, nprocs=4):
+    rng = np.random.default_rng(seed)
+    trace = Trace(
+        proc=rng.integers(0, nprocs, n).astype(np.int32),
+        addr=(rng.integers(0, 1 << 20, n) * 4).astype(np.int64),
+        size=np.full(n, 4, np.int32),
+        is_write=(rng.random(n) < 0.3),
+    )
+    return RunResult(
+        trace=trace, nprocs=nprocs, work={0: n}, private_refs={0: 11},
+        shared_refs={0: n}, output=[str(seed)], exit_value=seed,
+        heap_segments=[(0, 64, "h")],
+    )
+
+
+@pytest.fixture
+def cache(tmp_path, monkeypatch):
+    monkeypatch.setenv("REPRO_TRACE_CACHE", str(tmp_path))
+    monkeypatch.setenv("REPRO_TRACE_CACHE_MIN", "1")
+    monkeypatch.delenv("REPRO_TRACE_CACHE_MAX_MB", raising=False)
+    monkeypatch.delenv("REPRO_TRACE_SHARD_REFS", raising=False)
+    return tmp_path
+
+
+def key_for(i):
+    return tc.run_key(f"src{i}", "plan", 4, 64, 4, 1000)
+
+
+def assert_run_equal(got, want):
+    np.testing.assert_array_equal(got.trace.proc, want.trace.proc)
+    np.testing.assert_array_equal(got.trace.addr, want.trace.addr)
+    np.testing.assert_array_equal(got.trace.size, want.trace.size)
+    np.testing.assert_array_equal(got.trace.is_write, want.trace.is_write)
+    assert got.private_refs == want.private_refs
+    assert got.output == want.output
+    assert got.exit_value == want.exit_value
+    assert got.heap_segments == want.heap_segments
+
+
+# ---------------------------------------------------------------------------
+# chunked shards
+# ---------------------------------------------------------------------------
+
+
+def test_sharded_roundtrip(cache, monkeypatch):
+    monkeypatch.setenv("REPRO_TRACE_SHARD_REFS", "1000")
+    run = make_run(3500, seed=1)
+    assert tc.store_run(key_for(1), run)
+    assert_run_equal(tc.load_run(key_for(1)), run)
+
+
+def test_open_run_streams_shards(cache, monkeypatch):
+    monkeypatch.setenv("REPRO_TRACE_SHARD_REFS", "1000")
+    run = make_run(3500, seed=2)
+    tc.store_run(key_for(2), run)
+    with tc.open_run(key_for(2)) as stored:
+        assert stored.nchunks == 4
+        assert len(stored.meta.trace) == 0  # counters only
+        assert stored.meta.output == run.output
+        chunks = list(stored.chunks())
+    assert [len(c) for c in chunks] == [1000, 1000, 1000, 500]
+    np.testing.assert_array_equal(
+        np.concatenate([c.addr for c in chunks]), run.trace.addr
+    )
+
+
+def test_small_runs_stay_whole_column(cache, monkeypatch):
+    monkeypatch.setenv("REPRO_TRACE_SHARD_REFS", "1000")
+    run = make_run(400, seed=3)
+    tc.store_run(key_for(3), run)
+    with tc.open_run(key_for(3)) as stored:
+        assert stored.nchunks == 0
+        chunks = list(stored.chunks())
+    assert len(chunks) == 1 and len(chunks[0]) == 400
+    assert_run_equal(tc.load_run(key_for(3)), run)
+
+
+def test_shard_writer_streams(cache):
+    """The writer used by the streaming pipeline: chunks in, one
+    atomic entry out, no temp litter on abort."""
+    run = make_run(2600, seed=4)
+    w = tc.ShardWriter(key_for(4))
+    assert w.active
+    tr = run.trace
+    for start in range(0, len(tr), 777):
+        stop = min(start + 777, len(tr))
+        w.add(Trace(
+            proc=tr.proc[start:stop], addr=tr.addr[start:stop],
+            size=tr.size[start:stop], is_write=tr.is_write[start:stop],
+        ))
+    assert w.finish(run)
+    assert_run_equal(tc.load_run(key_for(4)), run)
+
+    aborted = tc.ShardWriter(key_for(5))
+    aborted.add(Trace(
+        proc=tr.proc[:100], addr=tr.addr[:100],
+        size=tr.size[:100], is_write=tr.is_write[:100],
+    ))
+    aborted.abort()
+    assert tc.load_run(key_for(5)) is None
+    assert not list(cache.glob(".tmp-*")), "aborted writer left temp files"
+
+
+def test_shard_writer_respects_min_refs(cache, monkeypatch):
+    monkeypatch.setenv("REPRO_TRACE_CACHE_MIN", "5000")
+    run = make_run(100, seed=6)
+    w = tc.ShardWriter(key_for(6))
+    w.add(run.trace)
+    assert not w.finish(run)  # below the persistence floor
+    assert tc.load_run(key_for(6)) is None
+
+
+def test_corrupt_entry_dropped(cache):
+    run = make_run(300, seed=7)
+    tc.store_run(key_for(7), run)
+    path = cache / f"{key_for(7)}.npz"
+    path.write_bytes(b"not a zip file")
+    assert tc.load_run(key_for(7)) is None
+    assert not path.exists()  # dropped, not left to poison every run
+    assert tc.open_run(key_for(7)) is None
+
+
+# ---------------------------------------------------------------------------
+# satellite: LRU size budget
+# ---------------------------------------------------------------------------
+
+
+def _entry_mb(cache, key):
+    return (cache / f"{key}.npz").stat().st_size / (1024 * 1024)
+
+
+def test_lru_eviction_preserves_mru(cache, monkeypatch):
+    """Five entries, a budget that fits ~two: the surviving entries are
+    the most recently *used* — entry 0 is old by store order but gets
+    touched by a load, so it outlives untouched newer peers."""
+    runs = [make_run(2000, seed=20 + i) for i in range(5)]
+    keys = [key_for(20 + i) for i in range(5)]
+    # store without a budget so nothing is evicted during setup
+    for k, r in zip(keys, runs):
+        assert tc.store_run(k, r)
+        time.sleep(0.02)
+
+    one = _entry_mb(cache, keys[0])
+    monkeypatch.setenv("REPRO_TRACE_CACHE_MAX_MB", str(one * 2.5))
+
+    time.sleep(0.02)
+    assert tc.load_run(keys[0]) is not None  # touch: 0 is now MRU
+    time.sleep(0.02)
+    new_run, new_key = make_run(2000, seed=99), key_for(99)
+    assert tc.store_run(new_key, new_run)
+
+    survivors = {p.name for p in cache.glob("*.npz")}
+    assert f"{new_key}.npz" in survivors, "a store never evicts itself"
+    assert f"{keys[0]}.npz" in survivors, "touched entry must survive"
+    assert f"{keys[1]}.npz" not in survivors, "untouched LRU entry evicted"
+    total = sum(p.stat().st_size for p in cache.glob("*.npz"))
+    assert total <= one * 2.5 * 1024 * 1024 * 1.01
+
+
+def test_eviction_logs_drops(cache, monkeypatch, caplog):
+    for i in range(3):
+        tc.store_run(key_for(40 + i), make_run(2000, seed=40 + i))
+        time.sleep(0.02)
+    monkeypatch.setenv(
+        "REPRO_TRACE_CACHE_MAX_MB", str(_entry_mb(cache, key_for(40)) * 1.5)
+    )
+    with caplog.at_level(logging.INFO, logger="repro.trace_cache"):
+        tc.store_run(key_for(43), make_run(2000, seed=43))
+    assert any("evicted" in r.message for r in caplog.records)
+
+
+def test_no_budget_means_no_eviction(cache, monkeypatch):
+    monkeypatch.delenv("REPRO_TRACE_CACHE_MAX_MB", raising=False)
+    for i in range(4):
+        tc.store_run(key_for(60 + i), make_run(2000, seed=60 + i))
+    assert len(list(cache.glob("*.npz"))) == 4
+
+
+def test_load_refreshes_mtime(cache):
+    tc.store_run(key_for(70), make_run(2000, seed=70))
+    path = cache / f"{key_for(70)}.npz"
+    old = path.stat().st_mtime - 3600
+    os.utime(path, (old, old))
+    assert tc.load_run(key_for(70)) is not None
+    assert path.stat().st_mtime > old + 3000
