@@ -46,6 +46,24 @@ def append_bench_point(point: dict, path: Path = BENCH_JSON) -> Path:
     return path
 
 
+def sentinel_check(path: Path, metrics: tuple) -> None:
+    """Judge the just-appended trajectory point against its history with
+    the regression sentinel.  Always prints alerts; only *fails* when
+    ``REPRO_BENCH_SENTINEL=1`` (the CI opt-in — local one-off runs on
+    slow machines should record, not abort)."""
+    from repro.obs.sentinel import bench_sentinel_fatal, check_bench_trajectory
+
+    report = check_bench_trajectory(path, metrics)
+    if report.alerts:
+        print(f"\n{report.describe()}")
+        if bench_sentinel_fatal():
+            raise AssertionError(
+                f"bench sentinel flagged {len(report.alerts)} regression(s) "
+                f"in {path.name}: "
+                + "; ".join(a.describe() for a in report.alerts)
+            )
+
+
 def synthetic_trace(n=200_000, procs=8, seed=7):
     rng = np.random.default_rng(seed)
     return Trace(
@@ -167,6 +185,7 @@ def test_grid_warm_kernel_speedup(lab):
     print(f"\nwarm grid: python {python_s:.2f}s"
           + (f", native {native_s:.2f}s ({speedup:.1f}x)" if native_s else "")
           + f" -> {path}")
+    sentinel_check(path, ("python_seconds", "native_seconds"))
     if HAVE_NATIVE:
         assert speedup >= 5.0, (
             f"native kernel warm-grid speedup {speedup:.2f}x is below "

@@ -33,6 +33,12 @@ Commands
 ``workloads``
     List the benchmark suite (``--stats`` adds trace/structure/timing
     statistics from the static analysis and the run-manifest log).
+``history``
+    Ingest run-manifest logs into the sharded record store and query
+    it: filters, time windows, group-by aggregates (table/JSON/CSV),
+    and the regression sentinel (``--sentinel``).
+``report``
+    Render the static-HTML run-history dashboard from the store.
 
 ``FILE`` arguments accept either a path to a parallel-C source file or
 the name of a registered workload (``Maxflow``, ``Water``, ...).
@@ -271,39 +277,21 @@ def _finish_profiling(args, profiling: bool) -> None:
 def _record_manifest(
     *, kind: str, label: str, source: str, plan, nprocs: int,
     block_size: int, sim=None, fs_by_structure=None,
+    chunk_size=None, stream=None,
 ) -> None:
     """Append one run record to the ``REPRO_RUN_LOG`` manifest (no-op
     when the log is not configured)."""
-    rec = manifest.build_record(
+    rec = manifest.sim_record(
         kind=kind,
         workload=label,
         source=source,
         plan_desc="natural" if plan is None else plan.describe(),
         nprocs=nprocs,
         block_size=block_size,
-        machine=(
-            {}
-            if sim is None
-            else {
-                "cache_size": sim.config.size,
-                "assoc": sim.config.assoc,
-                "block_size": sim.config.block_size,
-            }
-        ),
-        refs=0 if sim is None else sim.refs + sim.extra_refs,
-        trace_len=0 if sim is None else sim.refs,
-        misses=(
-            {}
-            if sim is None
-            else {
-                "cold": sim.misses.cold,
-                "replace": sim.misses.replace,
-                "true": sim.misses.true_sharing,
-                "false": sim.misses.false_sharing,
-            }
-        ),
-        fs_by_structure=fs_by_structure or {},
-        perf_snapshot=perf.snapshot(),
+        sim=sim,
+        fs_by_structure=fs_by_structure,
+        chunk_size=chunk_size,
+        stream=stream,
         span_timings=obs.flat_timings() if obs.enabled() else {},
         extra=(
             {"wall_seconds": round(obs.total_seconds(), 6)}
@@ -558,6 +546,78 @@ def cmd_workloads(args) -> int:
     return 0
 
 
+def _open_store(args):
+    from repro.obs.store import RunStore, default_store_root
+
+    return RunStore(args.store or default_store_root())
+
+
+def cmd_history(args) -> int:
+    from repro.obs.query import Query, QueryError, run_query
+    from repro.obs.sentinel import SentinelConfig, check_store
+
+    store = _open_store(args)
+    for log in args.ingest or ():
+        rep = store.ingest(log)
+        print(f"[{log}: {rep.describe()}]", file=sys.stderr)
+    if args.compact:
+        stats = store.compact()
+        print(
+            f"[compacted: {stats['records']} records kept, "
+            f"{stats['dropped']} lines dropped]",
+            file=sys.stderr,
+        )
+    try:
+        query = Query.build(
+            where=args.where or (),
+            since=args.since,
+            until=args.until,
+            group_by=args.group_by,
+            aggregates=args.agg or (),
+            fields=args.fields,
+            sort=args.sort,
+            limit=args.limit,
+        )
+    except QueryError as e:
+        print(f"repro: {e}", file=sys.stderr)
+        return 2
+
+    if args.sentinel:
+        cfg = SentinelConfig()
+        if args.metric:
+            cfg.metrics = tuple(args.metric)
+        report = check_store(store, cfg, query)
+        print(report.describe())
+        return 1 if report.alerts else 0
+
+    result = run_query(store, query)
+    if args.format == "json":
+        print(result.to_json())
+    elif args.format == "csv":
+        print(result.to_csv(), end="")
+    else:
+        print(result.to_table())
+        print(
+            f"[{result.matched}/{result.scanned} records, "
+            f"{result.shards_pruned} shards pruned, "
+            f"{result.seconds * 1000:.0f} ms]",
+            file=sys.stderr,
+        )
+    return 0
+
+
+def cmd_report(args) -> int:
+    from repro.obs.dashboard import write_dashboard
+
+    store = _open_store(args)
+    for log in args.ingest or ():
+        rep = store.ingest(log)
+        print(f"[{log}: {rep.describe()}]", file=sys.stderr)
+    out = write_dashboard(store, args.dashboard, title=args.title)
+    print(f"[dashboard -> {out}]", file=sys.stderr)
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -730,6 +790,84 @@ def build_parser() -> argparse.ArgumentParser:
         "(from the $REPRO_RUN_LOG manifest)",
     )
     p.set_defaults(func=cmd_workloads)
+
+    def store_opts(p):
+        p.add_argument(
+            "--store", metavar="DIR", default=None,
+            help="run-record store root (default: $REPRO_OBS_STORE "
+            "or .repro/store)",
+        )
+        p.add_argument(
+            "--ingest", metavar="LOG", action="append", default=None,
+            help="ingest a JSONL run-manifest log first (repeatable; "
+            "idempotent: re-ingesting is a no-op)",
+        )
+
+    p = sub.add_parser(
+        "history",
+        help="query the run-record store (ingest, filter, aggregate, "
+        "regression sentinel)",
+    )
+    store_opts(p)
+    p.add_argument(
+        "--where", metavar="FIELD<OP>VALUE", action="append", default=None,
+        help="filter records, e.g. workload=Maxflow/N block_size>=64 "
+        "plan~pad (repeatable; ops = != > >= < <= ~)",
+    )
+    p.add_argument(
+        "--since", metavar="WHEN", default=None,
+        help="only records at or after WHEN (ISO prefix or age: 7d, 24h)",
+    )
+    p.add_argument(
+        "--until", metavar="WHEN", default=None,
+        help="only records at or before WHEN",
+    )
+    p.add_argument(
+        "--group-by", metavar="FIELDS", default=None,
+        help="comma-separated grouping fields, e.g. workload,block_size",
+    )
+    p.add_argument(
+        "--agg", metavar="FUNC[:FIELD]", action="append", default=None,
+        help="aggregate per group, e.g. count mean:fs p95:wall_seconds "
+        "(repeatable; funcs = count sum mean min max std p50 p95)",
+    )
+    p.add_argument(
+        "--fields", metavar="FIELDS", default=None,
+        help="columns of an ungrouped listing (comma-separated paths)",
+    )
+    p.add_argument("--sort", metavar="COL", default=None,
+                   help="sort output by COL (-COL for descending)")
+    p.add_argument("--limit", type=int, default=None)
+    p.add_argument(
+        "--format", choices=["table", "json", "csv"], default="table",
+    )
+    p.add_argument(
+        "--compact", action="store_true",
+        help="rewrite shards: dedup, drop corrupt lines, sort by ts",
+    )
+    p.add_argument(
+        "--sentinel", action="store_true",
+        help="run the regression sentinel over the selected records "
+        "(exit 1 when a regression is flagged)",
+    )
+    p.add_argument(
+        "--metric", metavar="FIELD", action="append", default=None,
+        help="sentinel metrics (default: misses.false cycles "
+        "wall_seconds)",
+    )
+    p.set_defaults(func=cmd_history)
+
+    p = sub.add_parser(
+        "report",
+        help="render the static-HTML run-history dashboard",
+    )
+    store_opts(p)
+    p.add_argument(
+        "--dashboard", metavar="OUT.html", required=True,
+        help="write the dashboard HTML here",
+    )
+    p.add_argument("--title", default="repro run history")
+    p.set_defaults(func=cmd_report)
     return parser
 
 

@@ -185,8 +185,39 @@ def figure3(
                 row.cells[(bs, version)] = Figure3Cell(
                     miss_rate=sim.miss_rate, fs_rate=sim.fs_miss_rate
                 )
+                _record_point(wl, version, vr, sim)
         result.rows.append(row)
     return result
+
+
+def _record_point(wl: Workload, version: str, vr: VersionRun, sim) -> None:
+    """Append one grid point to the ``REPRO_RUN_LOG`` manifest.
+
+    This is the experiment drivers' ingest feed for the run-record
+    store (:mod:`repro.obs.store`): each simulated (workload, version,
+    block size) cell becomes one queryable record.  No-op — and no
+    attribution cost — when the log is not configured.
+    """
+    from repro.obs import attribution, manifest
+
+    if manifest.log_path() is None:
+        return
+    stats = vr.stream_stats
+    manifest.record(
+        manifest.sim_record(
+            kind="experiment",
+            workload=f"{wl.name}/{version}",
+            source=wl.source,
+            plan_desc="natural" if vr.plan is None else vr.plan.describe(),
+            nprocs=vr.nprocs,
+            block_size=sim.config.block_size,
+            sim=sim,
+            fs_by_structure=attribution.fs_table(
+                sim, vr.regions()
+            ).fs_by_structure,
+            stream=stats.to_dict() if stats is not None else None,
+        )
+    )
 
 
 # --------------------------------------------------------------------------

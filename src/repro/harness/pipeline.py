@@ -21,7 +21,10 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass
-from typing import Optional
+from typing import TYPE_CHECKING, Optional
+
+if TYPE_CHECKING:  # circular at runtime: stream imports the interpreter
+    from repro.runtime.stream import StreamStats
 
 from repro import perf
 from repro.obs import spans as obs
@@ -50,12 +53,22 @@ class VersionRun:
     interp_seconds: float = 0.0
     #: True when the run was replayed from the persistent trace cache
     from_cache: bool = False
+    #: producer-consumer accounting when the run went through
+    #: :meth:`Pipeline.simulate_streamed` (None on the batch path)
+    stream_stats: Optional["StreamStats"] = None
+    #: lazily built by :meth:`regions` — layout and heap segments are
+    #: fixed once the run exists, so one map serves every block size
+    _region_map: Optional[RegionMap] = None
 
     def simulate(self, block_size: int, **kw) -> SimResult:
         return simulate_run(self.run, block_size, **kw)
 
     def regions(self) -> RegionMap:
-        return build_region_map(self.layout, self.run.heap_segments)
+        if self._region_map is None:
+            self._region_map = build_region_map(
+                self.layout, self.run.heap_segments
+            )
+        return self._region_map
 
     def timing(self, cfg: KSR2Config | None = None) -> TimingResult:
         return time_run(self.run, cfg)
@@ -198,11 +211,12 @@ class Pipeline:
         )
         key = self._run_key(plan, nprocs)
         interp_seconds = 0.0
+        stats = None
         stored = trace_cache.open_run(key)
         if stored is not None:
             with stored, obs.span(
-                "pipeline.stream", version=version, nprocs=nprocs,
-                from_cache=True,
+                "pipeline.execute", version=version, nprocs=nprocs,
+                streamed=True, from_cache=True,
             ):
                 res = simulate_event_chunks(
                     stream_events(
@@ -220,10 +234,10 @@ class Pipeline:
             t0 = time.perf_counter()
             try:
                 with obs.span(
-                    "pipeline.stream", version=version, nprocs=nprocs,
-                    from_cache=False,
+                    "pipeline.execute", version=version, nprocs=nprocs,
+                    streamed=True, from_cache=False,
                 ):
-                    res, run = stream_simulate(
+                    res, run, stats = stream_simulate(
                         self.checked, layout, nprocs, config,
                         word_invalidate=word_invalidate, kernel=kernel,
                         chunk_refs=chunk_refs, max_steps=self.max_steps,
@@ -246,6 +260,7 @@ class Pipeline:
             run=run,
             interp_seconds=interp_seconds,
             from_cache=from_cache,
+            stream_stats=stats,
         )
         return res, vrun
 

@@ -12,6 +12,8 @@ from __future__ import annotations
 from bisect import bisect_right
 from dataclasses import dataclass
 
+import numpy as np
+
 from repro.layout.datalayout import (
     ARENA_BASE,
     ARENA_STRIDE,
@@ -50,8 +52,24 @@ class RegionMap:
                 merged.append(s)
         self.segments = merged
         self._starts = [s.start for s in merged]
+        #: addr -> name memo: miss attribution resolves the same block
+        #: base addresses over and over (misses, FS, FS pairs, repeat
+        #: block sizes), and the map is immutable after construction
+        self._name_cache: dict[int, str] = {}
+        # columnar mirrors for the vectorized lookup
+        self._starts_np = np.asarray(self._starts, dtype=np.int64)
+        self._ends_np = np.asarray([s.end for s in merged], dtype=np.int64)
+        self._names_np = np.asarray([s.name for s in merged], dtype=object)
 
     def name_of(self, addr: int) -> str:
+        cached = self._name_cache.get(addr)
+        if cached is not None:
+            return cached
+        name = self._resolve(addr)
+        self._name_cache[addr] = name
+        return name
+
+    def _resolve(self, addr: int) -> str:
         if addr >= SYNC_BASE:
             return "(sync)"
         if ARENA_BASE <= addr < ARENA_BASE + 130 * ARENA_STRIDE:
@@ -67,6 +85,41 @@ class RegionMap:
         if addr >= GROUP_BASE:
             return "(group)"
         return "(unknown)"
+
+    def names_of_many(self, addrs: np.ndarray) -> np.ndarray:
+        """Vectorized :meth:`name_of` over an int64 address array —
+        the attribution folds resolve every missed block base at once
+        instead of bisecting per address."""
+        addrs = np.asarray(addrs, dtype=np.int64)
+        out = np.empty(len(addrs), dtype=object)
+        sync = addrs >= SYNC_BASE
+        out[sync] = "(sync)"
+        arena = (
+            ~sync
+            & (addrs >= ARENA_BASE)
+            & (addrs < ARENA_BASE + 130 * ARENA_STRIDE)
+        )
+        if arena.any():
+            pids = (addrs[arena] - ARENA_BASE) // ARENA_STRIDE - 1
+            out[arena] = [f"(arena:{p})" for p in pids]
+        rest = ~(sync | arena)
+        if rest.any():
+            ra = addrs[rest]
+            if len(self._starts_np):
+                idx = np.searchsorted(self._starts_np, ra, side="right") - 1
+                safe = np.maximum(idx, 0)
+                in_seg = (idx >= 0) & (ra < self._ends_np[safe])
+            else:
+                idx = np.zeros(len(ra), dtype=np.int64)
+                in_seg = np.zeros(len(ra), dtype=bool)
+            sub = np.where(
+                ra >= HEAP_BASE,
+                "(heap)",
+                np.where(ra >= GROUP_BASE, "(group)", "(unknown)"),
+            ).astype(object)
+            sub[in_seg] = self._names_np[idx[in_seg]]
+            out[rest] = sub
+        return out
 
     def names_in_range(self, lo: int, hi: int) -> list[str]:
         """Every structure name overlapping ``[lo, hi)``, in address

@@ -13,8 +13,19 @@ Three layers, all off (and effectively free) unless asked for:
   breakdowns, cache-line heatmaps, and a diff against the static
   analysis's predictions.
 * **Run manifests** (:mod:`repro.obs.manifest`): one JSONL record per
-  run (source hash, plan, machine, cache stats, span timings, miss
-  breakdown) appended to ``REPRO_RUN_LOG``.
+  run (source hash, plan, machine, kernel, cache stats, streaming
+  stats, span timings, miss breakdown) appended to ``REPRO_RUN_LOG``.
+
+On top of the manifests sits the run-history layer:
+
+* **Store** (:mod:`repro.obs.store`): manifests ingested into a
+  sharded, content-addressed, indexed record store.
+* **Query** (:mod:`repro.obs.query`): filter / group-by / aggregate /
+  time-window queries over the store (``repro history``).
+* **Sentinel** (:mod:`repro.obs.sentinel`): rolling per-configuration
+  baselines and regression alerts.
+* **Dashboard** (:mod:`repro.obs.dashboard`): a static-HTML view of
+  miss trends, FS heatmaps, cache hit rates, and span times.
 
 :mod:`repro.perf` is the counter backend: spans snapshot its flat
 counters on entry/exit and store the delta, so every cache-hit/miss and
@@ -28,7 +39,15 @@ from repro.obs.chrome import (
     validate_trace_file,
     write_trace,
 )
-from repro.obs.manifest import RUN_LOG_ENV, build_record, last_for, read_all, record
+from repro.obs.manifest import (
+    RUN_LOG_ENV,
+    build_record,
+    last_for,
+    read_all,
+    record,
+    sim_record,
+    upgrade_record,
+)
 from repro.obs.spans import (
     PROFILE_ENV,
     Span,
@@ -60,12 +79,32 @@ _ATTRIBUTION_EXPORTS = frozenset(
     }
 )
 
+#: Run-history symbols, also lazy: most pipeline runs never touch the
+#: store, and keeping these modules unimported keeps import time flat.
+_HISTORY_EXPORTS = {
+    "RunStore": "repro.obs.store",
+    "IngestReport": "repro.obs.store",
+    "Query": "repro.obs.query",
+    "QueryResult": "repro.obs.query",
+    "run_query": "repro.obs.query",
+    "SentinelConfig": "repro.obs.sentinel",
+    "SentinelReport": "repro.obs.sentinel",
+    "check_store": "repro.obs.sentinel",
+    "check_bench_trajectory": "repro.obs.sentinel",
+    "render_dashboard": "repro.obs.dashboard",
+    "write_dashboard": "repro.obs.dashboard",
+}
+
 
 def __getattr__(name: str):
     if name in _ATTRIBUTION_EXPORTS:
         from repro.obs import attribution
 
         return getattr(attribution, name)
+    if name in _HISTORY_EXPORTS:
+        import importlib
+
+        return getattr(importlib.import_module(_HISTORY_EXPORTS[name]), name)
     raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
 
 
@@ -86,6 +125,9 @@ __all__ = [
     "last_for",
     "read_all",
     "record",
+    "sim_record",
+    "upgrade_record",
+    *sorted(_HISTORY_EXPORTS),
     "PROFILE_ENV",
     "Span",
     "attach_worker_spans",

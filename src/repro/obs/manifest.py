@@ -12,10 +12,10 @@ pipeline never pays for observability it was not asked for).  Appends
 are line-atomic (one ``write`` of one ``\\n``-terminated line), so
 concurrent experiment processes can share a log.
 
-Schema (one JSON object per line)::
+Schema 2 (one JSON object per line)::
 
     {
-      "schema": 1,
+      "schema": 2,
       "ts": "2026-08-06T12:00:00+00:00",   # UTC, ISO-8601
       "kind": "simulate" | "profile" | "experiment" | ...,
       "workload": "Maxflow",
@@ -23,12 +23,20 @@ Schema (one JSON object per line)::
       "plan": "TransformPlan(...)",        # or "natural"
       "nprocs": 12, "block_size": 128,
       "machine": {"cache_size": ..., "assoc": ..., "block_size": ...},
+      "kernel": "native" | "python" | null,  # protocol core that ran
+      "chunk_size": 262144 | null,         # refs/chunk of a streamed run
+      "stream": {"chunks_produced": ..., "chunks_consumed": ...,
+                 "queue_high_water": ..., "stall_seconds": ...},
       "refs": 123456, "trace_len": 120000,
       "misses": {"cold": ..., "replace": ..., "true": ..., "false": ...},
       "fs_by_structure": {"counter": 123, ...},
-      "perf": {"trace_cache.hit": 1, ...}, # cache/engine counters
+      "perf": {"trace_cache.hit": 1, ...}, # cache/stream/kernel counters
       "spans": {"pipeline.execute": 0.81, ...}  # seconds per span name
     }
+
+Schema 1 records lack ``kernel``/``chunk_size``/``stream``;
+:func:`upgrade_record` fills the gaps, and the readers here (and the
+manifest store's ingest path) upgrade rather than reject them.
 """
 
 from __future__ import annotations
@@ -41,15 +49,23 @@ from pathlib import Path
 
 RUN_LOG_ENV = "REPRO_RUN_LOG"
 
-#: Bump when the record shape changes incompatibly.
-SCHEMA = 1
+#: Bump when the record shape changes incompatibly.  2 adds the
+#: streaming/native-era fields: ``kernel``, ``chunk_size``, ``stream``,
+#: and the trace-cache shard/eviction + stream + per-core counters.
+SCHEMA = 2
 
-#: perf counters worth persisting (cache behaviour + stage seconds).
+#: perf counters worth persisting (cache behaviour + stage seconds +
+#: streaming-boundary and protocol-core accounting).
 _PERF_KEYS = (
     "trace_cache.hit",
     "trace_cache.miss",
     "trace_cache.store",
+    "trace_cache.store_failed",
     "trace_cache.corrupt",
+    "trace_cache.evicted",
+    "trace_cache.evicted_bytes",
+    "trace_cache.shards",
+    "trace_cache.shard_chunks",
     "sim_cache.hit",
     "sim_cache.miss",
     "events_cache.hit",
@@ -58,8 +74,50 @@ _PERF_KEYS = (
     "interp.seconds",
     "sim.fast",
     "sim.reference",
+    "sim.stream_chunks",
+    "sim.native.runs",
+    "sim.native.refs",
+    "sim.native.events",
+    "sim.native.invalidations",
+    "sim.native.writebacks",
+    "sim.native.upgrades",
+    "sim.python.runs",
+    "sim.python.refs",
+    "sim.python.invalidations",
+    "sim.python.writebacks",
+    "sim.python.upgrades",
+    "sim.kernel.native",
+    "sim.kernel.python",
+    "kernel.build",
+    "kernel.built",
+    "kernel.envelope_fallback",
+    "stream.chunks",
+    "stream.refs",
+    "stream.stall_seconds",
+    "stream.queue_high_water",
     "parallel.points",
 )
+
+#: Fields every upgraded record is guaranteed to carry, with their
+#: schema-2 defaults (what :func:`upgrade_record` backfills).
+_SCHEMA2_DEFAULTS: dict[str, object] = {
+    "kind": "",
+    "workload": "",
+    "source_sha256": "",
+    "plan": "",
+    "nprocs": 0,
+    "block_size": 0,
+    "machine": {},
+    "kernel": None,
+    "chunk_size": None,
+    "stream": {},
+    "refs": 0,
+    "trace_len": 0,
+    "misses": {},
+    "fs_by_structure": {},
+    "perf": {},
+    "spans": {},
+}
 
 
 def log_path() -> Path | None:
@@ -83,6 +141,9 @@ def build_record(
     nprocs: int,
     block_size: int,
     machine: dict | None = None,
+    kernel: str | None = None,
+    chunk_size: int | None = None,
+    stream: dict | None = None,
     refs: int = 0,
     trace_len: int = 0,
     misses: dict | None = None,
@@ -91,7 +152,14 @@ def build_record(
     span_timings: dict | None = None,
     extra: dict | None = None,
 ) -> dict:
-    """Assemble one manifest record (pure; does not write)."""
+    """Assemble one manifest record (pure; does not write).
+
+    ``kernel`` names the protocol core that ran (``SimResult.kernel``);
+    ``chunk_size`` is the refs-per-chunk of a streamed run (None for
+    the monolithic path); ``stream`` is
+    :meth:`repro.runtime.stream.StreamStats.to_dict` when the run went
+    through the producer-consumer boundary.
+    """
     perf_part = {
         k: v for k, v in (perf_snapshot or {}).items() if k in _PERF_KEYS
     }
@@ -105,6 +173,9 @@ def build_record(
         "nprocs": nprocs,
         "block_size": block_size,
         "machine": machine or {},
+        "kernel": kernel,
+        "chunk_size": int(chunk_size) if chunk_size else None,
+        "stream": stream or {},
         "refs": int(refs),
         "trace_len": int(trace_len),
         "misses": misses or {},
@@ -115,6 +186,85 @@ def build_record(
     if extra:
         rec.update(extra)
     return rec
+
+
+def sim_record(
+    *,
+    kind: str,
+    workload: str,
+    source: str,
+    plan_desc: str,
+    nprocs: int,
+    block_size: int,
+    sim=None,
+    fs_by_structure: dict | None = None,
+    chunk_size: int | None = None,
+    stream: dict | None = None,
+    span_timings: dict | None = None,
+    extra: dict | None = None,
+) -> dict:
+    """Build a record straight from a
+    :class:`~repro.sim.coherence.SimResult` — the shared assembly used
+    by the CLI commands and the experiment drivers, so every ingest
+    path records the same shape (machine geometry, miss breakdown,
+    kernel choice, perf snapshot)."""
+    from repro import perf as _perf
+
+    return build_record(
+        kind=kind,
+        workload=workload,
+        source=source,
+        plan_desc=plan_desc,
+        nprocs=nprocs,
+        block_size=block_size,
+        machine=(
+            {}
+            if sim is None
+            else {
+                "cache_size": sim.config.size,
+                "assoc": sim.config.assoc,
+                "block_size": sim.config.block_size,
+            }
+        ),
+        kernel=None if sim is None else sim.kernel,
+        chunk_size=chunk_size,
+        stream=stream,
+        refs=0 if sim is None else sim.refs + sim.extra_refs,
+        trace_len=0 if sim is None else sim.refs,
+        misses=(
+            {}
+            if sim is None
+            else {
+                "cold": sim.misses.cold,
+                "replace": sim.misses.replace,
+                "true": sim.misses.true_sharing,
+                "false": sim.misses.false_sharing,
+            }
+        ),
+        fs_by_structure=fs_by_structure or {},
+        perf_snapshot=_perf.snapshot(),
+        span_timings=span_timings,
+        extra=extra,
+    )
+
+
+def upgrade_record(rec: dict) -> dict:
+    """Return ``rec`` upgraded in-shape to schema 2 (a new dict).
+
+    Schema-1 lines — and hand-edited or partially truncated records —
+    are never rejected: missing fields get their schema-2 defaults, so
+    every consumer (the store's ingest, ``repro history``, the
+    dashboard) sees one uniform shape.  Unknown extra fields are kept.
+    """
+    out = dict(rec)
+    for key, default in _SCHEMA2_DEFAULTS.items():
+        if key not in out or out[key] is None and isinstance(default, dict):
+            # copy mutable defaults so records never share dicts
+            out[key] = dict(default) if isinstance(default, dict) else default
+    if "ts" not in out:
+        out["ts"] = ""
+    out["schema"] = SCHEMA
+    return out
 
 
 def record(rec: dict) -> Path | None:
@@ -132,8 +282,15 @@ def record(rec: dict) -> Path | None:
     return path
 
 
-def read_all(path: str | Path | None = None) -> list[dict]:
-    """Every parseable record in the log (corrupt lines are skipped)."""
+def read_all(
+    path: str | Path | None = None, *, upgrade: bool = True
+) -> list[dict]:
+    """Every parseable record in the log (corrupt lines are skipped).
+
+    By default records are passed through :func:`upgrade_record`, so
+    callers always see the schema-2 shape regardless of when a line
+    was written; pass ``upgrade=False`` for the raw on-disk dicts.
+    """
     p = Path(path) if path is not None else log_path()
     if p is None or not p.exists():
         return []
@@ -147,7 +304,7 @@ def read_all(path: str | Path | None = None) -> list[dict]:
         except json.JSONDecodeError:
             continue
         if isinstance(rec, dict):
-            out.append(rec)
+            out.append(upgrade_record(rec) if upgrade else rec)
     return out
 
 

@@ -32,6 +32,8 @@ from __future__ import annotations
 import os
 import queue
 import threading
+import time
+from dataclasses import dataclass
 from typing import Callable, Iterator, Optional
 
 from repro import perf
@@ -46,6 +48,42 @@ DEFAULT_QUEUE_CHUNKS = 4
 
 #: Queue sentinel marking the end of the chunk stream.
 _DONE = object()
+
+
+@dataclass(slots=True)
+class StreamStats:
+    """Per-run counters of one streamed interpretation.
+
+    These are what a chunked run *cannot* reconstruct after the fact —
+    how the producer-consumer boundary behaved — and what manifest
+    schema 2 records under ``"stream"``: how many chunks crossed the
+    queue, the deepest the queue ever got, and how long the interpreter
+    thread sat blocked because the simulator fell behind.
+    """
+
+    #: chunks the interpreter side emitted into the queue
+    chunks_produced: int = 0
+    #: chunks the simulator side drained from the queue
+    chunks_consumed: int = 0
+    #: references carried by the produced chunks
+    refs: int = 0
+    #: deepest queue occupancy observed right after a put
+    queue_high_water: int = 0
+    #: seconds the producer spent blocked in ``queue.put``
+    stall_seconds: float = 0.0
+    #: references per chunk the stream was configured with
+    chunk_refs: int = 0
+
+    def to_dict(self) -> dict:
+        """The JSON form stored in manifest schema-2 records."""
+        return {
+            "chunks_produced": self.chunks_produced,
+            "chunks_consumed": self.chunks_consumed,
+            "refs": self.refs,
+            "queue_high_water": self.queue_high_water,
+            "stall_seconds": round(self.stall_seconds, 6),
+            "chunk_refs": self.chunk_refs,
+        }
 
 
 def default_chunk_refs() -> int:
@@ -142,9 +180,10 @@ class TraceStream:
         self.chunk_refs = chunk_refs or default_chunk_refs()
         self.queue_chunks = queue_chunks or default_queue_chunks()
         self.run: RunResult | None = None
+        self.stats = StreamStats(chunk_refs=self.chunk_refs)
         self._error: BaseException | None = None
         self._q: queue.Queue = queue.Queue(maxsize=self.queue_chunks)
-        self._sink = ChunkSink(self._q.put, self.chunk_refs)
+        self._sink = ChunkSink(self._emit, self.chunk_refs)
         self._interp = Interpreter(
             checked, layout, nprocs,
             quantum=quantum, max_steps=max_steps, trace_sink=self._sink,
@@ -153,13 +192,32 @@ class TraceStream:
             target=self._produce, name="repro-interp-stream", daemon=True
         )
         self._started = False
+        #: absolute perf_counter bounds of the producer thread and the
+        #: consumer loop (for the stream.produce/stream.consume spans)
+        self.produce_t0 = 0.0
+        self.produce_t1 = 0.0
+        self.consume_t0 = 0.0
+        self.consume_t1 = 0.0
+
+    def _emit(self, chunk: Trace) -> None:
+        """Queue one chunk, accounting for producer stall time (the
+        interpreter blocks here whenever the simulator falls behind)
+        and the queue's high-water mark."""
+        t0 = time.perf_counter()
+        self._q.put(chunk)
+        self.stats.stall_seconds += time.perf_counter() - t0
+        depth = self._q.qsize()
+        if depth > self.stats.queue_high_water:
+            self.stats.queue_high_water = depth
 
     def _produce(self) -> None:
+        self.produce_t0 = time.perf_counter()
         try:
             self.run = self._interp.run()
         except BaseException as e:  # propagated by __iter__
             self._error = e
         finally:
+            self.produce_t1 = time.perf_counter()
             self._q.put(_DONE)
 
     def __iter__(self) -> Iterator[Trace]:
@@ -167,16 +225,23 @@ class TraceStream:
             raise RuntimeError("a TraceStream can only be iterated once")
         self._started = True
         self._thread.start()
+        self.consume_t0 = time.perf_counter()
         while True:
             chunk = self._q.get()
             if chunk is _DONE:
                 break
+            self.stats.chunks_consumed += 1
             yield chunk
+        self.consume_t1 = time.perf_counter()
         self._thread.join()
         if self._error is not None:
             raise self._error
+        self.stats.chunks_produced = self._sink.chunks
+        self.stats.refs = self._sink.total_refs
         perf.add("stream.chunks", self._sink.chunks)
         perf.add("stream.refs", self._sink.total_refs)
+        perf.add("stream.stall_seconds", self.stats.stall_seconds)
+        perf.peak("stream.queue_high_water", self.stats.queue_high_water)
 
     @property
     def chunks_emitted(self) -> int:
@@ -226,10 +291,12 @@ def stream_simulate(
     hook the sharded trace cache uses to persist the stream as it
     passes (see :class:`repro.runtime.trace_cache.ShardWriter`).
 
-    Returns ``(SimResult, RunResult)``; the run result's trace is
-    empty (the whole point), but its counters, output and heap segments
-    are complete, and the sim result's ``extra_refs`` already includes
-    the run's private references.
+    Returns ``(SimResult, RunResult, StreamStats)``; the run result's
+    trace is empty (the whole point), but its counters, output and heap
+    segments are complete, and the sim result's ``extra_refs`` already
+    includes the run's private references.  The stats record how the
+    producer-consumer boundary behaved (chunk counts, queue high-water,
+    producer stall time).
     """
     from repro.sim.engine import simulate_event_chunks
 
@@ -260,8 +327,23 @@ def stream_simulate(
         run = stream.run
         assert run is not None  # the iterator was exhausted
         res.extra_refs = sum(run.private_refs.values())
+        stats = stream.stats
         if sp is not None:
             sp.meta["chunks"] = stream.chunks_emitted
             sp.meta["refs"] = res.refs
             sp.meta["kernel"] = res.kernel
-    return res, run
+            # The producer thread and the consumer loop cannot wrap
+            # themselves in context-managed spans (thread-local stacks,
+            # lifetimes known only after join) — stitch them in as
+            # concurrent children so the profile shows the overlap.
+            sp.children.append(obs.manual_span(
+                "stream.produce", stream.produce_t0, stream.produce_t1,
+                chunks=stats.chunks_produced, refs=stats.refs,
+                stall_seconds=round(stats.stall_seconds, 6),
+                queue_high_water=stats.queue_high_water,
+            ))
+            sp.children.append(obs.manual_span(
+                "stream.consume", stream.consume_t0, stream.consume_t1,
+                chunks=stats.chunks_consumed, kernel=res.kernel,
+            ))
+    return res, run, stats

@@ -426,6 +426,7 @@ class ShardWriter:
             self._member(wn, chunk.is_write)
             self._n += 1
             self._refs += len(chunk)
+            perf.add("trace_cache.shard_chunks")
         except OSError:
             perf.add("trace_cache.store_failed")
             self._cleanup()
@@ -454,6 +455,7 @@ class ShardWriter:
             self._cleanup()
             return False
         perf.add("trace_cache.store")
+        perf.add("trace_cache.shards", self._n)
         _enforce_budget(self._path)
         return True
 
@@ -562,6 +564,7 @@ def _enforce_budget(just_stored: Path | None = None) -> list[str]:
         total -= size
         evicted.append(p.name)
         perf.add("trace_cache.evicted")
+        perf.add("trace_cache.evicted_bytes", size)
     if evicted:
         log.info(
             "trace cache over budget (%d MB): evicted %d LRU entries (%s)",

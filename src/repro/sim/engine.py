@@ -152,6 +152,22 @@ def _make_core(kernel: str, nprocs: int, config: CacheConfig,
     return _PythonCore(nprocs, config, word_invalidate)
 
 
+def _export_core_counters(res: SimResult) -> None:
+    """Surface one simulation's protocol counters through
+    :mod:`repro.perf`, tagged by the core that ran it.
+
+    This is what makes native-kernel runs visible to spans and run
+    manifests: the C kernel accumulates its statistics internally, so
+    without this export a native run leaves no counter trail at all.
+    """
+    k = res.kernel
+    perf.add(f"sim.{k}.runs")
+    perf.add(f"sim.{k}.refs", res.refs)
+    perf.add(f"sim.{k}.invalidations", res.invalidations)
+    perf.add(f"sim.{k}.writebacks", res.writebacks)
+    perf.add(f"sim.{k}.upgrades", res.upgrades)
+
+
 # ---------------------------------------------------------------------------
 # drivers
 # ---------------------------------------------------------------------------
@@ -179,11 +195,13 @@ def simulate_events(
     with perf.timer(f"sim.kernel.{resolved}"):
         core = _make_core(resolved, nprocs, config, word_invalidate)
         core.consume(events)
-        return core.result(
+        res = core.result(
             extra_refs=extra_refs,
             sim_seconds=_time.perf_counter() - t0,
             engine=FAST,
         )
+    _export_core_counters(res)
+    return res
 
 
 def simulate_event_chunks(
@@ -228,9 +246,13 @@ def simulate_event_chunks(
                 engine=FAST,
             )
         perf.add("sim.stream_chunks", n_chunks)
+        _export_core_counters(res)
         if sp is not None:
             sp.meta["chunks"] = n_chunks
             sp.meta["events"] = n_events
+            sp.meta["invalidations"] = res.invalidations
+            sp.meta["writebacks"] = res.writebacks
+            sp.meta["upgrades"] = res.upgrades
     return res
 
 

@@ -280,6 +280,7 @@ class NativeSim:
         w_hi = _as_i64(events.w_hi)
         is_write = np.ascontiguousarray(events.is_write, dtype=np.uint8)
         repeat = _as_i64(events.repeat)
+        perf.add("sim.native.events", n)
         rc = self._lib.sim_run(
             self._handle, n,
             proc.ctypes.data_as(_I64P),

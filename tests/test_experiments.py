@@ -52,6 +52,29 @@ class TestFigure3:
         text = render_figure3(res)
         assert "Radiosity" in text
 
+    def test_records_manifest_per_grid_point(self, lab, tmp_path,
+                                             monkeypatch):
+        """With REPRO_RUN_LOG set, every simulated (workload, version,
+        block size) cell lands in the manifest as one schema-2 record —
+        the experiment drivers' feed into the run-record store."""
+        from repro.obs import manifest
+
+        log = tmp_path / "runs.jsonl"
+        monkeypatch.setenv(manifest.RUN_LOG_ENV, str(log))
+        figure3((SMALL[0],), block_sizes=(16, 128), lab=lab)
+        recs = manifest.read_all(log)
+        assert len(recs) == 4  # 2 versions x 2 block sizes
+        assert {r["workload"] for r in recs} == {
+            "Radiosity/N", "Radiosity/C"
+        }
+        for rec in recs:
+            assert rec["schema"] == manifest.SCHEMA
+            assert rec["kind"] == "experiment"
+            assert rec["kernel"] in ("native", "python")
+            assert rec["block_size"] in (16, 128)
+            assert rec["misses"]["false"] >= 0
+            assert rec["fs_by_structure"]  # attribution came along
+
     def test_fs_portion_grows_with_block_size(self, lab):
         res = figure3(SMALL, block_sizes=(16, 128), lab=lab)
         for row in res.rows:

@@ -1,0 +1,136 @@
+"""``repro history`` / ``repro report`` and the dashboard renderer."""
+
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.obs.dashboard import heatmap, polyline_chart, render_dashboard
+from repro.obs.store import RunStore
+
+from test_store import make_record, write_log
+
+
+@pytest.fixture()
+def log(tmp_path):
+    records = []
+    i = 0
+    for w in ("Maxflow/N", "Maxflow/C"):
+        for bs in (16, 128):
+            for _ in range(6):
+                records.append(
+                    make_record(
+                        i, workload=w, block_size=bs,
+                        fs=400 if w.endswith("N") else 80,
+                    )
+                )
+                i += 1
+    return write_log(tmp_path / "runs.jsonl", records)
+
+
+@pytest.fixture()
+def store_dir(tmp_path):
+    return str(tmp_path / "store")
+
+
+class TestHistoryCLI:
+    def test_ingest_and_grouped_table(self, log, store_dir, capsys):
+        rc = main([
+            "history", "--store", store_dir, "--ingest", str(log),
+            "--group-by", "workload,block_size",
+            "--agg", "mean:fs", "--agg", "count",
+        ])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "mean(misses.false)" in out
+        assert "Maxflow/N" in out and "400" in out and "80" in out
+
+    def test_json_and_csv_formats(self, log, store_dir, capsys):
+        main(["history", "--store", store_dir, "--ingest", str(log),
+              "--group-by", "workload", "--agg", "count",
+              "--format", "json"])
+        data = json.loads(capsys.readouterr().out)
+        assert {r["count"] for r in data["rows"]} == {12}
+        main(["history", "--store", store_dir, "--format", "csv",
+              "--group-by", "workload", "--agg", "count"])
+        lines = capsys.readouterr().out.splitlines()
+        assert lines[0] == "workload,count"
+        assert len(lines) == 3
+
+    def test_where_filter_and_limit(self, log, store_dir, capsys):
+        main(["history", "--store", store_dir, "--ingest", str(log),
+              "--where", "workload=Maxflow/C", "--where", "block_size=128",
+              "--limit", "4", "--fields", "workload,block_size,fs"])
+        out = capsys.readouterr().out
+        rows = [l for l in out.splitlines() if l.startswith("Maxflow")]
+        assert len(rows) == 4
+        assert all("128" in r for r in rows)
+
+    def test_bad_filter_is_a_diagnostic(self, store_dir, capsys):
+        rc = main(["history", "--store", store_dir, "--where", "nonsense"])
+        assert rc == 2
+        assert "bad filter" in capsys.readouterr().err
+
+    def test_compact(self, log, store_dir, capsys):
+        main(["history", "--store", store_dir, "--ingest", str(log),
+              "--compact"])
+        err = capsys.readouterr().err
+        assert "compacted" in err
+
+    def test_sentinel_quiet_then_flags_doctored_log(
+        self, log, store_dir, tmp_path, capsys
+    ):
+        assert main(["history", "--store", store_dir, "--ingest", str(log),
+                     "--sentinel"]) == 0
+        assert "0 alert(s)" in capsys.readouterr().out
+        # doctor the newest Maxflow/N record: double its fs misses
+        doctored = make_record(
+            999, workload="Maxflow/N", block_size=128, fs=800,
+            ts="2026-09-01T00:00:00+00:00",
+        )
+        dlog = write_log(tmp_path / "doctored.jsonl", [doctored])
+        rc = main(["history", "--store", store_dir, "--ingest", str(dlog),
+                   "--sentinel"])
+        assert rc == 1
+        out = capsys.readouterr().out
+        assert "REGRESSION misses.false" in out
+        assert "x2.00" in out
+
+
+class TestReportCLI:
+    def test_dashboard_written(self, log, store_dir, tmp_path, capsys):
+        out_html = tmp_path / "dash.html"
+        rc = main(["report", "--store", store_dir, "--ingest", str(log),
+                   "--dashboard", str(out_html)])
+        assert rc == 0
+        html = out_html.read_text()
+        assert html.startswith("<!doctype html>")
+        assert "<svg" in html              # charts rendered inline
+        assert "Maxflow/N" in html
+        assert "script" not in html.lower()  # no JS, archivable artifact
+
+
+class TestDashboard:
+    def test_empty_store_renders_valid_page(self, tmp_path):
+        html = render_dashboard(RunStore(tmp_path / "empty"))
+        assert "<!doctype html>" in html
+        assert "no records ingested yet" in html
+
+    def test_polyline_needs_two_points(self):
+        assert "not enough history" in polyline_chart([("x", [1.0])])
+        svg = polyline_chart([("fs", [1.0, 2.0, 3.0])], y_label="misses")
+        assert "<polyline" in svg and "misses" in svg
+
+    def test_heatmap_normalizes_per_row(self):
+        svg = heatmap([("Maxflow", [0.0, 5.0, 10.0])])
+        # the row maximum renders at full intensity
+        assert "rgb(255,75,35)" in svg
+        assert "Maxflow run 2: 10" in svg
+
+    def test_sections_present_with_history(self, tmp_path):
+        store = RunStore(tmp_path / "s")
+        store.ingest_records([make_record(i, fs=100 + i) for i in range(6)])
+        html = render_dashboard(store)
+        for section in ("Miss breakdown over time", "False sharing over time",
+                        "Cache hit rates", "Span time per run"):
+            assert section in html

@@ -254,6 +254,43 @@ class TestManifest:
         assert manifest.last_for("Water")["refs"] == 3
         assert manifest.last_for("Pthor") is None
 
+    def test_schema2_fields(self):
+        rec = _record(
+            kernel="native", chunk_size=4096,
+            stream={"chunks_produced": 3, "stall_seconds": 0.01},
+        )
+        assert rec["schema"] == 2
+        assert rec["kernel"] == "native"
+        assert rec["chunk_size"] == 4096
+        assert rec["stream"]["chunks_produced"] == 3
+        # monolithic runs record the fields too, just empty
+        batch = _record()
+        assert batch["kernel"] is None
+        assert batch["chunk_size"] is None and batch["stream"] == {}
+
+    def test_upgrade_record_backfills_schema1(self):
+        old = {
+            "schema": 1, "ts": "2026-01-01T00:00:00+00:00",
+            "kind": "profile", "workload": "Water",
+            "misses": {"false": 9}, "custom": "kept",
+        }
+        up = manifest.upgrade_record(old)
+        assert up["schema"] == 2
+        assert up["kernel"] is None
+        assert up["chunk_size"] is None
+        assert up["stream"] == {} and up["fs_by_structure"] == {}
+        assert up["misses"]["false"] == 9     # existing data untouched
+        assert up["custom"] == "kept"         # unknown fields preserved
+        assert old["schema"] == 1             # input not mutated
+
+    def test_read_all_upgrades_by_default(self, tmp_path):
+        log = tmp_path / "runs.jsonl"
+        log.write_text(json.dumps({"schema": 1, "workload": "A"}) + "\n")
+        (up,) = manifest.read_all(log)
+        assert up["schema"] == 2 and up["kernel"] is None
+        (raw,) = manifest.read_all(log, upgrade=False)
+        assert raw["schema"] == 1 and "kernel" not in raw
+
 
 # ---------------------------------------------------------------------------
 # parallel lab merging (regression: worker counters must never be lost)

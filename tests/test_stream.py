@@ -222,7 +222,7 @@ def test_stream_simulate_matches_batch(counter_checked):
         extra_refs=sum(batch.private_refs.values()),
     )
     seen = []
-    res, run = stream_simulate(
+    res, run, stats = stream_simulate(
         counter_checked, layout, 4, cfg,
         chunk_refs=300, sink=seen.append,
     )
@@ -230,6 +230,57 @@ def test_stream_simulate_matches_batch(counter_checked):
     assert res.extra_refs == expect.extra_refs
     assert run.output == batch.output
     assert sum(len(c) for c in seen) == len(batch.trace)  # tee saw it all
+    assert stats.chunks_produced == stats.chunks_consumed == len(seen)
+    assert stats.refs == len(batch.trace)
+    assert stats.queue_high_water >= 1
+    d = stats.to_dict()
+    assert d["chunks_produced"] == stats.chunks_produced
+    assert d["stall_seconds"] >= 0.0
+
+
+def test_streamed_span_parity(monkeypatch):
+    """The streamed path emits the same ``pipeline.execute`` span as the
+    batch path (tagged ``streamed``), with ``stream.produce`` /
+    ``stream.consume`` children covering the concurrent stages."""
+    monkeypatch.setenv("REPRO_TRACE_CACHE", "0")
+    from repro.harness.pipeline import Pipeline
+    from repro.obs import spans as obs
+
+    from conftest import COUNTER_SRC
+
+    obs.enable()
+    obs.reset()
+    try:
+        pipe = Pipeline(COUNTER_SRC, block_size=64)
+        res, vr = pipe.simulate_streamed(4, chunk_refs=300)
+
+        def find(spans, name):
+            for sp in spans:
+                if sp.name == name:
+                    return sp
+                got = find(sp.children, name)
+                if got is not None:
+                    return got
+            return None
+
+        execute = find(obs.roots(), "pipeline.execute")
+        assert execute is not None
+        assert execute.meta["streamed"] is True
+        assert execute.meta["from_cache"] is False
+        run_sp = find([execute], "sim.stream_run")
+        assert run_sp is not None
+        produce = find([run_sp], "stream.produce")
+        consume = find([run_sp], "stream.consume")
+        assert produce is not None and consume is not None
+        assert produce.meta["chunks"] == consume.meta["chunks"] > 0
+        assert produce.meta["queue_high_water"] >= 1
+        assert produce.dur > 0 and consume.dur > 0
+        # the stats the spans were stitched from ride on the VersionRun
+        assert vr.stream_stats is not None
+        assert vr.stream_stats.chunks_produced == produce.meta["chunks"]
+    finally:
+        obs.reset()
+        obs.disable()
 
 
 def test_pipeline_streamed_roundtrip(tmp_path, monkeypatch):
