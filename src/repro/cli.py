@@ -61,11 +61,13 @@ from repro.harness import (
     headline,
     render_figure3,
     render_headline,
+    render_rws,
     render_scalability,
     render_table1,
     render_table2,
     render_table3,
     render_workload_stats,
+    rws,
     table1,
     table2,
     table3,
@@ -407,10 +409,28 @@ def cmd_profile(args) -> int:
     return 0
 
 
+def _default_bench_path(filename: str) -> str:
+    """``benchmarks/results/<filename>`` at the repo root (best effort:
+    walk up from this file looking for ROADMAP.md, else the cwd)."""
+    import os
+
+    here = Path(__file__).resolve()
+    for parent in here.parents:
+        if (parent / "ROADMAP.md").exists():
+            return str(parent / "benchmarks" / "results" / filename)
+    return str(Path("benchmarks") / "results" / filename)
+
+
 def cmd_experiments(args) -> int:
     profiling = _begin_profiling(args)
     lab = WorkloadLab()
-    name = args.name
+    name = args.name or args.figure
+    if name is None:
+        print(
+            "repro experiments: name an artifact (positional or --figure)",
+            file=sys.stderr,
+        )
+        return 2
     if name == "table1":
         print(render_table1(table1()))
     elif name == "figure3":
@@ -425,6 +445,20 @@ def cmd_experiments(args) -> int:
         print(render_table3(table3(lab=lab)))
     elif name == "headline":
         print(render_headline(headline(lab=lab)))
+    elif name == "rws":
+        import json
+        import os
+
+        result = rws()
+        print(render_rws(result))
+        out = args.bench_out or _default_bench_path("BENCH_rws.json")
+        os.makedirs(os.path.dirname(out) or ".", exist_ok=True)
+        with open(out, "w") as fh:
+            json.dump(result.to_dict(), fh, indent=2, sort_keys=True)
+            fh.write("\n")
+        print(f"[rws record -> {out}]", file=sys.stderr)
+        if not result.ok:
+            return 1
     else:  # pragma: no cover - argparse restricts choices
         print(f"unknown experiment {name!r}", file=sys.stderr)
         return 2
@@ -479,16 +513,32 @@ def cmd_verify(args) -> int:
         return 1 if violations else 0
 
     if args.file:
-        # oracle + invariants over one explicit program
+        # oracle + invariants over one explicit program, once per
+        # scheduler leg (--sched both runs rr then steal)
+        from repro.runtime.stealing import RR, SchedConfig
+
         label, source = _resolve_source(args.file)
         checked = compile_source(source, filename=label)
-        verdicts, base_run = check_program(checked, args.nprocs)
-        for v in verdicts:
-            print(v)
-        violations = invariants.check_trace(base_run.trace, args.nprocs)
-        for v in violations:
-            print(f"invariant: {v}")
-        failed = violations or [v for v in verdicts if not v.ok]
+        legs = {
+            "rr": [("rr", RR)],
+            "steal": [("steal", SchedConfig("steal", seed=args.seed))],
+            "both": [
+                ("rr", RR),
+                ("steal", SchedConfig("steal", seed=args.seed)),
+            ],
+        }[args.sched]
+        failed = False
+        for leg, cfg in legs:
+            verdicts, base_run = check_program(
+                checked, args.nprocs, sched=cfg
+            )
+            for v in verdicts:
+                print(f"[{leg}] {v}")
+            violations = invariants.check_trace(base_run.trace, args.nprocs)
+            for v in violations:
+                print(f"invariant[{leg}]: {v}")
+            if violations or [v for v in verdicts if not v.ok]:
+                failed = True
         print(f"{label}: " + ("FAILED" if failed else "all versions agree"))
         return 1 if failed else 0
 
@@ -508,6 +558,7 @@ def cmd_verify(args) -> int:
         count=args.count,
         jobs=args.jobs,
         plan_source="space" if args.plan_space else "fixed",
+        sched=args.sched,
         progress=progress,
     )
     print(report.summary())
@@ -640,6 +691,25 @@ def build_parser() -> argparse.ArgumentParser:
             "error if unavailable), python (reference); also "
             "$REPRO_SIM_KERNEL — see docs/PERFORMANCE.md",
         )
+        sched_opts(p)
+
+    def sched_opts(p):
+        p.add_argument(
+            "--sched", choices=["rr", "steal"], default=None,
+            help="execution schedule: rr (deterministic round-robin, "
+            "default) or steal (seeded randomized work stealing); "
+            "also $REPRO_SCHED — see docs/SCHEDULING.md",
+        )
+        p.add_argument(
+            "--sched-seed", type=int, default=None, metavar="N",
+            help="RNG seed for --sched steal (default 0; also "
+            "$REPRO_SCHED_SEED)",
+        )
+        p.add_argument(
+            "--grain", type=int, default=None, metavar="N",
+            help="statement yields per steal-mode task chunk "
+            "(default 16; also $REPRO_SCHED_GRAIN)",
+        )
 
     def profiled(p):
         p.add_argument(
@@ -735,10 +805,21 @@ def build_parser() -> argparse.ArgumentParser:
     p.set_defaults(func=cmd_profile)
 
     p = sub.add_parser("experiments", help="regenerate a paper artifact")
+    _EXPERIMENTS = [
+        "table1", "figure3", "table2", "figure4", "table3", "headline",
+        "rws",
+    ]
+    p.add_argument("name", nargs="?", choices=_EXPERIMENTS, default=None)
     p.add_argument(
-        "name",
-        choices=["table1", "figure3", "table2", "figure4", "table3", "headline"],
+        "--figure", choices=_EXPERIMENTS, default=None, dest="figure",
+        help="alias for the positional artifact name",
     )
+    p.add_argument(
+        "--bench-out", metavar="PATH", default=None,
+        help="where rws writes its BENCH_rws.json record "
+        "(default benchmarks/results/BENCH_rws.json)",
+    )
+    sched_opts(p)
     profiled(p)
     p.set_defaults(func=cmd_experiments)
 
@@ -780,6 +861,12 @@ def build_parser() -> argparse.ArgumentParser:
         "--plan-space", action="store_true",
         help="draw candidate plans from the tuner's action space "
         "instead of the fixed five-plan list",
+    )
+    p.add_argument(
+        "--sched", choices=["rr", "steal", "both"], default="rr",
+        help="scheduler axis: fuzz under round-robin, under seeded "
+        "work stealing, or under both plus the cross-scheduler "
+        "metamorphics (default rr)",
     )
     p.set_defaults(func=cmd_verify)
 
@@ -880,6 +967,21 @@ def main(argv: list[str] | None = None) -> int:
         from repro.sim.kernel import KERNEL_ENV
 
         os.environ[KERNEL_ENV] = args.sim_kernel
+    # Thread the scheduler selection through the environment so every
+    # entry point (including tune/lab worker processes, which inherit
+    # the environment) resolves the same SchedConfig.  Verify's --sched
+    # is a fuzz *axis* ("both" is not a schedule) handled explicitly in
+    # cmd_verify, so only concrete kinds are exported.
+    if getattr(args, "sched", None) in ("rr", "steal") and args.command != "verify":
+        import os
+
+        from repro.runtime import stealing
+
+        os.environ[stealing.ENV_SCHED] = args.sched
+        if getattr(args, "sched_seed", None) is not None:
+            os.environ[stealing.ENV_SEED] = str(args.sched_seed)
+        if getattr(args, "grain", None) is not None:
+            os.environ[stealing.ENV_GRAIN] = str(args.grain)
     try:
         return args.func(args)
     except ReproError as e:

@@ -7,6 +7,8 @@
 ``figure4``    speedup curves (N/C/P) for representative programs
 ``table3``     maximum speedup and where it occurs, all programs/versions
 ``headline``   the section-5 aggregate statistics
+``rws``        false sharing under randomized work stealing vs the
+               Cole–Ramachandran O(steal-count) bound
 =============  ===========================================================
 
 Every driver returns plain dataclasses; the rendering lives in
@@ -24,6 +26,7 @@ from repro.harness.parallel import Point, resolve_plan
 from repro.obs import spans as obs
 from repro.harness.pipeline import Pipeline, VersionRun
 from repro.machine import KSR2Config, SpeedupCurve, build_curve
+from repro.runtime.stealing import RR, SchedConfig, fs_bound
 from repro.transform import ALL_KINDS, TransformPlan
 from repro.workloads.base import Workload
 from repro.workloads.registry import (
@@ -473,6 +476,180 @@ def improvements(
             )
         )
     return rows
+
+
+# --------------------------------------------------------------------------
+# Randomized work stealing (arXiv:1103.4142 shape)
+# --------------------------------------------------------------------------
+
+#: The rws sweep reuses the golden conformance trio — between them they
+#: exercise every transformation family, and their rr FS counts are
+#: already pinned by the golden snapshots.
+RWS_WORKLOADS = ("Maxflow", "Pverify", "Radiosity")
+RWS_BLOCK_SIZES = (4, 64, 128)
+RWS_PROC_COUNTS = (4, 8)
+RWS_SEEDS = (1, 2, 3)
+
+
+@dataclass(slots=True)
+class RwsPoint:
+    """One (workload, nprocs, seed, block size) cell of the rws sweep."""
+
+    workload: str
+    nprocs: int
+    seed: int
+    block_size: int
+    #: false-sharing misses under deterministic round-robin
+    fs_rr: int
+    #: false-sharing misses under the seeded steal schedule
+    fs_steal: int
+    #: steals / task migrations the schedule performed
+    steals: int
+    migrations: int
+    #: the Cole–Ramachandran prediction: rr FS plus O(steals × words)
+    bound: int
+
+    @property
+    def overhead(self) -> int:
+        """Extra FS misses the stochastic schedule paid (can be
+        negative: a migration can also *break up* a pathological
+        rr interleaving)."""
+        return self.fs_steal - self.fs_rr
+
+    @property
+    def within_bound(self) -> bool:
+        return self.fs_steal <= self.bound
+
+    def to_dict(self) -> dict:
+        return {
+            "workload": self.workload,
+            "nprocs": self.nprocs,
+            "seed": self.seed,
+            "block_size": self.block_size,
+            "fs_rr": self.fs_rr,
+            "fs_steal": self.fs_steal,
+            "steals": self.steals,
+            "migrations": self.migrations,
+            "bound": self.bound,
+            "overhead": self.overhead,
+            "within_bound": self.within_bound,
+        }
+
+
+@dataclass(slots=True)
+class RwsResult:
+    """The full sweep; ``points`` covers the cross product."""
+
+    workloads: tuple[str, ...]
+    block_sizes: tuple[int, ...]
+    proc_counts: tuple[int, ...]
+    seeds: tuple[int, ...]
+    points: list[RwsPoint] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return all(p.within_bound for p in self.points)
+
+    def violations(self) -> list[RwsPoint]:
+        return [p for p in self.points if not p.within_bound]
+
+    def to_dict(self) -> dict:
+        """The JSON form written to ``benchmarks/results/BENCH_rws.json``."""
+        return {
+            "experiment": "rws",
+            "workloads": list(self.workloads),
+            "block_sizes": list(self.block_sizes),
+            "proc_counts": list(self.proc_counts),
+            "seeds": list(self.seeds),
+            "ok": self.ok,
+            "points": [p.to_dict() for p in self.points],
+        }
+
+
+def _record_rws_point(wl: Workload, vr: VersionRun, point: RwsPoint) -> None:
+    """One manifest record per steal-schedule cell (no-op when
+    ``REPRO_RUN_LOG`` is unset), carrying the rws comparison fields
+    under ``extra`` and the steal counters from the run itself."""
+    from repro.obs import manifest
+
+    if manifest.log_path() is None:
+        return
+    sim = vr.simulate(point.block_size)
+    manifest.record(
+        manifest.sim_record(
+            kind="rws",
+            workload=f"{wl.name}/N",
+            source=wl.source,
+            plan_desc="natural",
+            nprocs=point.nprocs,
+            block_size=point.block_size,
+            sim=sim,
+            extra={
+                "sched": vr.run.sched,
+                "rws": point.to_dict(),
+            },
+        )
+    )
+
+
+@_spanned
+def rws(
+    workloads: Sequence[str] = RWS_WORKLOADS,
+    block_sizes: Sequence[int] = RWS_BLOCK_SIZES,
+    proc_counts: Sequence[int] = RWS_PROC_COUNTS,
+    seeds: Sequence[int] = RWS_SEEDS,
+) -> RwsResult:
+    """Measure false sharing under randomized work stealing against the
+    Cole–Ramachandran prediction.
+
+    For every workload and processor count the natural version runs
+    once under round-robin (the static-schedule baseline) and once per
+    seed under the steal scheduler; each (block size, seed) cell pairs
+    the measured steal-schedule FS misses with the bound
+    :func:`repro.runtime.stealing.fs_bound` computes from the rr FS
+    count and the run's actual steal count.  The bypassed
+    :class:`WorkloadLab` is deliberate: lab runs are keyed by (name,
+    version, nprocs) with no scheduler axis, and every pipeline here
+    carries its own explicit :class:`SchedConfig`.
+    """
+    result = RwsResult(
+        workloads=tuple(workloads),
+        block_sizes=tuple(block_sizes),
+        proc_counts=tuple(proc_counts),
+        seeds=tuple(seeds),
+    )
+    for name in workloads:
+        wl = by_name(name)
+        for nprocs in proc_counts:
+            rr_vr = Pipeline(wl.source, sched=RR).run_unoptimized(nprocs)
+            fs_rr = {
+                bs: rr_vr.simulate(bs).misses.false_sharing
+                for bs in block_sizes
+            }
+            for seed in seeds:
+                pipe = Pipeline(
+                    wl.source, sched=SchedConfig("steal", seed=seed)
+                )
+                vr = pipe.run_unoptimized(nprocs)
+                stats = vr.run.sched
+                assert stats is not None  # steal runs always carry stats
+                for bs in block_sizes:
+                    point = RwsPoint(
+                        workload=wl.name,
+                        nprocs=nprocs,
+                        seed=seed,
+                        block_size=bs,
+                        fs_rr=fs_rr[bs],
+                        fs_steal=vr.simulate(bs).misses.false_sharing,
+                        steals=stats["steals"],
+                        migrations=stats["migrations"],
+                        bound=fs_bound(
+                            fs_rr[bs], stats["steals"], bs, nprocs
+                        ),
+                    )
+                    _record_rws_point(wl, vr, point)
+                    result.points.append(point)
+    return result
 
 
 # --------------------------------------------------------------------------

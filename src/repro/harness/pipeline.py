@@ -33,7 +33,7 @@ from repro.lang import CheckedProgram, compile_source
 from repro.layout import DataLayout
 from repro.layout.regions import RegionMap, build_region_map
 from repro.machine import KSR2Config, TimingResult, time_run
-from repro.runtime import RunResult, run_program
+from repro.runtime import RunResult, SchedConfig, resolve_sched, run_program
 from repro.runtime import trace_cache
 from repro.sim import SimResult, simulate_run
 from repro.transform import TransformPlan, decide_transformations
@@ -84,10 +84,14 @@ class Pipeline:
     """
 
     def __init__(self, source: str, *, block_size: int = 128,
-                 max_steps: int = 200_000_000):
+                 max_steps: int = 200_000_000,
+                 sched: Optional[SchedConfig] = None):
         self.source = source
         self.block_size = block_size
         self.max_steps = max_steps
+        #: scheduling policy for every run of this pipeline — explicit
+        #: config wins, else the REPRO_SCHED* environment decides
+        self.sched = sched if sched is not None else resolve_sched()
         with obs.span("pipeline.compile"):
             self.checked = compile_source(source)
         self._analyses: dict[int, ProgramAnalysis] = {}
@@ -120,6 +124,7 @@ class Pipeline:
         return trace_cache.run_key(
             self.source, plan_desc, nprocs, self.block_size,
             quantum=4, max_steps=self.max_steps,
+            sched=self.sched.describe(),
         )
 
     def execute(
@@ -150,7 +155,8 @@ class Pipeline:
                 if run is None:
                     t0 = time.perf_counter()
                     run = run_program(
-                        self.checked, layout, nprocs, max_steps=self.max_steps
+                        self.checked, layout, nprocs,
+                        max_steps=self.max_steps, sched=self.sched,
                     )
                     interp_seconds = time.perf_counter() - t0
                     perf.add("interp.seconds", interp_seconds)
@@ -242,6 +248,7 @@ class Pipeline:
                         word_invalidate=word_invalidate, kernel=kernel,
                         chunk_refs=chunk_refs, max_steps=self.max_steps,
                         sink=writer.add if writer.active else None,
+                        sched=self.sched,
                     )
             except BaseException:
                 writer.abort()

@@ -8,6 +8,7 @@ from typing import Sequence
 from repro.harness.experiments import (
     Figure3Result,
     HeadlineStats,
+    RwsResult,
     ScalabilityResult,
     Table2Result,
     Table3Row,
@@ -122,6 +123,31 @@ def render_workload_stats(rows: Sequence[dict]) -> str:
             f"{r['program']:<12} {r['versions']:<9} {r['structures']:>7} "
             f"{trace_len:>11} {wall:>10}  {r.get('last_ts') or '—'}"
         )
+    return "\n".join(lines)
+
+
+def render_rws(result: RwsResult) -> str:
+    """False sharing under randomized work stealing vs the predicted
+    Cole–Ramachandran bound, one row per sweep cell."""
+    lines = [
+        "RWS: false-sharing misses under randomized work stealing "
+        "(arXiv:1103.4142 bound)",
+        f"{'Program':<12} {'P':>3} {'seed':>4} {'bs':>4} "
+        f"{'FS(rr)':>8} {'FS(steal)':>9} {'steals':>7} "
+        f"{'bound':>8}  ok",
+    ]
+    for p in result.points:
+        lines.append(
+            f"{p.workload:<12} {p.nprocs:>3} {p.seed:>4} {p.block_size:>4} "
+            f"{p.fs_rr:>8} {p.fs_steal:>9} {p.steals:>7} "
+            f"{p.bound:>8}  {'yes' if p.within_bound else 'NO'}"
+        )
+    status = (
+        "all points within bound"
+        if result.ok
+        else f"{len(result.violations())} POINTS EXCEED THE BOUND"
+    )
+    lines.append(f"=> {status}")
     return "\n".join(lines)
 
 

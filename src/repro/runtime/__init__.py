@@ -1,9 +1,19 @@
-"""Execution substrate: deterministic SPMD interpreter, round-robin
-scheduler, and memory-reference tracing (the paper's [EKKL90] role)."""
+"""Execution substrate: deterministic SPMD interpreter, round-robin and
+randomized work-stealing schedulers, and memory-reference tracing (the
+paper's [EKKL90] role)."""
 
 from repro.runtime.builtins import rnd, rndf, splitmix64
 from repro.runtime.interpreter import PRIVATE_BASE, Interpreter, run_program
 from repro.runtime.scheduler import Proc, Scheduler
+from repro.runtime.stealing import (
+    DEFAULT_GRAIN,
+    RR,
+    RWS_BOUND_C,
+    SchedConfig,
+    StealScheduler,
+    fs_bound,
+    resolve_sched,
+)
 from repro.runtime.trace import RunResult, Trace, TraceBuffer
 
 __all__ = [
@@ -15,6 +25,13 @@ __all__ = [
     "run_program",
     "Proc",
     "Scheduler",
+    "DEFAULT_GRAIN",
+    "RR",
+    "RWS_BOUND_C",
+    "SchedConfig",
+    "StealScheduler",
+    "fs_bound",
+    "resolve_sched",
     "RunResult",
     "Trace",
     "TraceBuffer",

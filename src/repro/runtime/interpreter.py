@@ -44,6 +44,7 @@ from repro.layout.datalayout import (
 )
 from repro.runtime.builtins import PURE_IMPLS
 from repro.runtime.scheduler import Proc, Scheduler
+from repro.runtime.stealing import SchedConfig, StealScheduler, resolve_sched
 from repro.runtime.trace import RunResult, TraceBuffer
 
 #: Private (per-process stack) storage starts here; anything below is shared.
@@ -110,6 +111,7 @@ class Interpreter:
         quantum: int = 4,
         max_steps: int = 200_000_000,
         trace_sink=None,
+        sched: SchedConfig | None = None,
     ):
         self.checked = checked
         self.layout = layout
@@ -120,7 +122,18 @@ class Interpreter:
         #: :class:`repro.runtime.stream.ChunkSink`); the interpreter
         #: itself never holds more than the sink retains.
         self.trace = trace_sink if trace_sink is not None else TraceBuffer()
-        self.sched = Scheduler(quantum=quantum, max_steps=max_steps)
+        #: execution model: None resolves REPRO_SCHED/_SEED/_GRAIN
+        self.sched_config = sched if sched is not None else resolve_sched()
+        if self.sched_config.kind == "steal":
+            self.sched: Scheduler = StealScheduler(
+                nprocs,
+                seed=self.sched_config.seed,
+                grain=self.sched_config.grain,
+                quantum=quantum,
+                max_steps=max_steps,
+            )
+        else:
+            self.sched = Scheduler(quantum=quantum, max_steps=max_steps)
         self.heap_cursor = HEAP_BASE
         self.arena_cursors: dict[int, int] = {}
         #: pointer-cell addr -> owning pid (indirection bookkeeping)
@@ -159,6 +172,7 @@ class Interpreter:
             output=self.output,
             exit_value=self.exit_value,
             heap_segments=list(self.heap_segments),
+            sched=self.sched.stats(),
         )
 
     def _main_gen(self, proc: Proc) -> Iterator:
@@ -177,7 +191,7 @@ class Interpreter:
             proc.private_refs += 1
         else:
             proc.shared_refs += 1
-            self.trace.append(proc.pid, addr, size, is_write)
+            self.trace.append(proc.cpu, addr, size, is_write)
 
     def _load_raw(self, proc: Proc, addr: int, ty: T.CType):
         self._ref(proc, addr, self._scalar_size(ty), False)
@@ -657,7 +671,9 @@ class Interpreter:
 
     def _spawn(self, func_name: str, pid_val: int) -> None:
         fn = self.checked.symtab.funcs[func_name].defn
-        worker = Proc(pid=pid_val)
+        # cpu starts at pid (owner-computes); only the stealing
+        # scheduler ever moves it, so rr traces are unchanged.
+        worker = Proc(pid=pid_val, cpu=pid_val)
         worker.priv_cursor = PRIVATE_BASE + (pid_val + 2) * PRIVATE_STRIDE
         worker.gen = self._worker_gen(worker, fn, pid_val)
         self.sched.add(worker)
@@ -874,13 +890,19 @@ def run_program(
     *,
     quantum: int = 4,
     max_steps: int = 200_000_000,
+    sched: SchedConfig | None = None,
 ) -> RunResult:
     """Execute a checked program under ``layout`` with ``nprocs`` worker
-    processes and return the trace and counters."""
+    processes and return the trace and counters.
+
+    ``sched`` selects the execution model (round-robin or randomized
+    work stealing — see :mod:`repro.runtime.stealing`); None resolves
+    the ``REPRO_SCHED`` family of environment knobs."""
     from repro.obs import spans as obs
 
     interp = Interpreter(
-        checked, layout, nprocs, quantum=quantum, max_steps=max_steps
+        checked, layout, nprocs,
+        quantum=quantum, max_steps=max_steps, sched=sched,
     )
     with obs.span("interp.run", nprocs=nprocs) as sp:
         result = interp.run()

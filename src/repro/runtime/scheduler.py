@@ -26,6 +26,11 @@ class Proc:
     """One logical process: the parent (pid -1) or a worker (pid >= 0)."""
 
     pid: int
+    #: processor executing this process's references.  Under round-robin
+    #: it is pinned to ``pid`` at spawn (owner-computes); the stealing
+    #: scheduler reassigns it at every chunk acquisition, which is how
+    #: task migration shows up in the trace.
+    cpu: int = -1
     gen: Optional[Iterator] = None
     done: bool = False
     #: ("lock", addr) / ("barrier", generation) / ("join",) when blocked
@@ -44,6 +49,8 @@ class Proc:
 class Scheduler:
     """Deterministic round-robin over live processes."""
 
+    kind = "rr"
+
     def __init__(self, quantum: int = 4, max_steps: int = 200_000_000):
         self.quantum = quantum
         self.max_steps = max_steps
@@ -60,6 +67,12 @@ class Scheduler:
 
     def workers(self) -> list[Proc]:
         return [p for p in self.procs if p.is_worker]
+
+    def stats(self) -> dict | None:
+        """Scheduling counters for the run record (None: nothing
+        stochastic happened — the rr schedule is fully determined by
+        the quantum, which is already in the cache key)."""
+        return None
 
     def live_workers(self) -> list[Proc]:
         return [p for p in self.procs if p.is_worker and not p.done]

@@ -174,6 +174,7 @@ class TraceStream:
         queue_chunks: Optional[int] = None,
         quantum: int = 4,
         max_steps: int = 200_000_000,
+        sched=None,
     ):
         from repro.runtime.interpreter import Interpreter
 
@@ -187,6 +188,7 @@ class TraceStream:
         self._interp = Interpreter(
             checked, layout, nprocs,
             quantum=quantum, max_steps=max_steps, trace_sink=self._sink,
+            sched=sched,
         )
         self._thread = threading.Thread(
             target=self._produce, name="repro-interp-stream", daemon=True
@@ -281,6 +283,7 @@ def stream_simulate(
     quantum: int = 4,
     max_steps: int = 200_000_000,
     sink: Optional[Callable[[Trace], None]] = None,
+    sched=None,
 ):
     """Interpret and simulate a program **concurrently** with bounded
     memory: trace chunks stream from the interpreter thread through a
@@ -303,7 +306,7 @@ def stream_simulate(
     stream = TraceStream(
         checked, layout, nprocs,
         chunk_refs=chunk_refs, queue_chunks=queue_chunks,
-        quantum=quantum, max_steps=max_steps,
+        quantum=quantum, max_steps=max_steps, sched=sched,
     )
 
     def tee(chunks: Iterator[Trace]) -> Iterator[Trace]:

@@ -142,6 +142,10 @@ class RunResult:
     exit_value: int | None = None
     #: (addr, size, label) of heap allocations, for miss attribution
     heap_segments: list[tuple[int, int, str]] = field(default_factory=list)
+    #: scheduling counters (:meth:`Scheduler.stats`): None under the
+    #: deterministic round-robin, a dict with steal/migration counts
+    #: under randomized work stealing
+    sched: dict | None = None
 
     @property
     def total_refs(self) -> int:

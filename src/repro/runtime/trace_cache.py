@@ -66,8 +66,10 @@ from repro.runtime.trace import RunResult, Trace
 log = logging.getLogger("repro.trace_cache")
 
 #: Bump when interpreter/layout semantics change observable runs (2:
-#: entries self-identify with their key and are validated on load).
-SCHEMA = 2
+#: entries self-identify with their key and are validated on load; 3:
+#: the scheduler — kind, seed, grain — joins the key, so a steal-mode
+#: run can never replay an rr-mode entry or vice versa).
+SCHEMA = 3
 
 #: Metadata fields a well-formed entry must carry.
 _REQUIRED_META = (
@@ -126,13 +128,24 @@ def run_key(
     block_size: int,
     quantum: int,
     max_steps: int,
+    *,
+    sched: str = "rr",
 ) -> str:
-    """Deterministic content key for one interpreted run."""
+    """Deterministic content key for one interpreted run.
+
+    ``sched`` is the scheduling policy's canonical description
+    (:meth:`repro.runtime.stealing.SchedConfig.describe`).  It *must*
+    participate in the hash: a randomized-work-stealing run produces a
+    different trace for every (seed, grain), and before the scheduler
+    joined the key a steal-mode run would silently replay a cached
+    round-robin trace.
+    """
     h = hashlib.sha256()
     for part in (
         f"schema={SCHEMA}", source, plan_desc,
         f"nprocs={nprocs}", f"block={block_size}",
         f"quantum={quantum}", f"max_steps={max_steps}",
+        f"sched={sched}",
     ):
         h.update(part.encode())
         h.update(b"\x00")
@@ -154,6 +167,7 @@ def _meta_dict(key: str, run: RunResult) -> dict:
         "output": run.output,
         "exit_value": run.exit_value,
         "heap_segments": run.heap_segments,
+        "sched": run.sched,
     }
 
 
@@ -167,6 +181,7 @@ def _run_from_meta(meta: dict, trace: Trace) -> RunResult:
         output=list(meta["output"]),
         exit_value=meta["exit_value"],
         heap_segments=[tuple(seg) for seg in meta["heap_segments"]],
+        sched=meta.get("sched"),
     )
 
 

@@ -29,10 +29,21 @@ from dataclasses import dataclass, field
 from repro.errors import ReproError
 from repro.harness.parallel import map_tasks
 from repro.lang import compile_source
+from repro.runtime.stealing import RR, SchedConfig
 from repro.verify import invariants, oracle, progen
 
 #: Block sizes the invariant leg sweeps per program (word-size first).
 FUZZ_BLOCK_SIZES = (4, 32, 128)
+
+#: Scheduler axes one fuzz run can sweep.  ``rr`` and ``steal`` run the
+#: oracle + invariant legs under that one schedule; ``both`` runs both
+#: legs *and* the cross-scheduler metamorphic
+#: (:func:`repro.verify.invariants.check_schedule_independence`).
+SCHED_AXES = ("rr", "steal", "both")
+
+#: Task grain for steal-mode fuzz legs (small enough that the tiny
+#: generated programs actually migrate).
+FUZZ_STEAL_GRAIN = 16
 
 #: Where candidate plans come from.  ``fixed`` is the five-plan oracle
 #: list; ``space`` draws them from the tuner's per-structure action
@@ -102,8 +113,35 @@ class FuzzReport:
         )
 
 
+def _sched_legs(
+    spec: progen.ProgramSpec, sched: str
+) -> list[tuple[str, SchedConfig]]:
+    """The scheduler configs one spec is checked under.
+
+    The steal leg seeds its RNG from the spec's own seed, so every
+    generated program exercises a *different* stochastic schedule while
+    each remains exactly reproducible from the fuzz seed alone.  Both
+    legs are explicit configs (never ``None``) so a ``REPRO_SCHED``
+    environment override can never silently turn the rr leg into a
+    second steal leg.
+    """
+    steal = SchedConfig("steal", seed=spec.seed, grain=FUZZ_STEAL_GRAIN)
+    if sched == "rr":
+        return [("rr", RR)]
+    if sched == "steal":
+        return [("steal", steal)]
+    if sched == "both":
+        return [("rr", RR), ("steal", steal)]
+    raise ValueError(
+        f"unknown sched axis {sched!r} (choose from {', '.join(SCHED_AXES)})"
+    )
+
+
 def _spec_failures(
-    spec: progen.ProgramSpec, nprocs: int, plan_source: str = "fixed"
+    spec: progen.ProgramSpec,
+    nprocs: int,
+    plan_source: str = "fixed",
+    sched: str = "rr",
 ) -> tuple[list[str], int]:
     """All failures one spec exhibits, plus the number of plans checked.
 
@@ -111,37 +149,62 @@ def _spec_failures(
     only emits programs the checker documents as valid, so a
     ``CheckError`` here means the generator and the language disagree,
     which is exactly what fuzzing exists to find.
+
+    ``sched`` picks the scheduler axis: each leg runs the full oracle +
+    simulator-invariant stack under that schedule, and ``both``
+    additionally compares the rr and steal baseline runs against the
+    schedule-independence metamorphics.
     """
     try:
         checked = compile_source(progen.render(spec))
     except ReproError as e:
         return [f"crash: compile: {type(e).__name__}: {e}"], 0
-    try:
-        plans = _candidate_plans(checked, nprocs, plan_source)
-        verdicts, base_run = oracle.check_program(
-            checked, nprocs, plans=plans
-        )
-    except Exception as e:
-        return [f"crash: oracle: {type(e).__name__}: {e}"], 0
-    out = [f"oracle: {v}" for v in verdicts if not v.ok]
-    try:
-        out += [
-            f"invariant: {m}"
-            for m in invariants.check_trace(
-                base_run.trace, nprocs, block_sizes=FUZZ_BLOCK_SIZES
+    out: list[str] = []
+    nplans = 0
+    base_runs: dict[str, object] = {}
+    for leg, cfg in _sched_legs(spec, sched):
+        try:
+            plans = _candidate_plans(checked, nprocs, plan_source)
+            verdicts, base_run = oracle.check_program(
+                checked, nprocs, plans=plans, sched=cfg
             )
-        ]
-    except Exception as e:
-        out.append(f"crash: simulator: {type(e).__name__}: {e}")
-    return out, len(verdicts)
+        except Exception as e:
+            out.append(f"crash: oracle[{leg}]: {type(e).__name__}: {e}")
+            continue
+        base_runs[leg] = base_run
+        nplans += len(verdicts)
+        out += [f"oracle[{leg}]: {v}" for v in verdicts if not v.ok]
+        try:
+            out += [
+                f"invariant[{leg}]: {m}"
+                for m in invariants.check_trace(
+                    base_run.trace, nprocs, block_sizes=FUZZ_BLOCK_SIZES
+                )
+            ]
+        except Exception as e:
+            out.append(f"crash: simulator[{leg}]: {type(e).__name__}: {e}")
+    if "rr" in base_runs and "steal" in base_runs:
+        try:
+            out += [
+                f"metamorphic: {m}"
+                for m in invariants.check_schedule_independence(
+                    base_runs["rr"],
+                    base_runs["steal"],
+                    deterministic=progen.is_schedule_deterministic(spec),
+                    label="steal-vs-rr",
+                )
+            ]
+        except Exception as e:
+            out.append(f"crash: metamorphic: {type(e).__name__}: {e}")
+    return out, nplans
 
 
 def check_seed(
-    seed: int, nprocs: int, plan_source: str = "fixed"
+    seed: int, nprocs: int, plan_source: str = "fixed", sched: str = "rr"
 ) -> tuple[int, list[str]]:
     """Fuzz one seed (picklable worker entry point)."""
     msgs, nplans = _spec_failures(
-        progen.generate(seed), nprocs, plan_source
+        progen.generate(seed), nprocs, plan_source, sched
     )
     return nplans, msgs
 
@@ -151,22 +214,24 @@ def _classify(msgs: list[str]) -> str:
         return "crash"
     if any(m.startswith("oracle") for m in msgs):
         return "oracle"
+    if any(m.startswith("metamorphic") for m in msgs):
+        return "metamorphic"
     return "invariant"
 
 
 def _minimize(
-    seed: int, nprocs: int, plan_source: str = "fixed"
+    seed: int, nprocs: int, plan_source: str = "fixed", sched: str = "rr"
 ) -> FuzzFailure:
     """Shrink a failing seed to a minimal reproducer."""
     spec = progen.generate(seed)
-    msgs, _ = _spec_failures(spec, nprocs, plan_source)
+    msgs, _ = _spec_failures(spec, nprocs, plan_source, sched)
 
     def still_fails(cand: progen.ProgramSpec) -> bool:
-        got, _ = _spec_failures(cand, nprocs, plan_source)
+        got, _ = _spec_failures(cand, nprocs, plan_source, sched)
         return bool(got)
 
     small = progen.shrink(spec, still_fails)
-    final_msgs, _ = _spec_failures(small, nprocs)
+    final_msgs, _ = _spec_failures(small, nprocs, plan_source, sched)
     return FuzzFailure(
         seed=seed,
         kind=_classify(final_msgs or msgs),
@@ -211,13 +276,15 @@ def fuzz(
     count: int | None = None,
     jobs: int = 1,
     plan_source: str = "fixed",
+    sched: str = "rr",
     progress=None,
 ) -> FuzzReport:
     """Run the fuzz loop until the time budget or program count is hit.
 
     ``count`` (when given) is exact: exactly that many seeds are
     checked regardless of budget.  Otherwise seeds are consumed in
-    batches until ``budget`` seconds elapse.
+    batches until ``budget`` seconds elapse.  ``sched`` selects the
+    scheduler axis per seed (see :data:`SCHED_AXES`).
     """
     report = FuzzReport(seed=seed, nprocs=nprocs)
     start = time.monotonic()
@@ -239,7 +306,7 @@ def fuzz(
         task_failures: dict[int, str] = {}
         results = map_tasks(
             check_seed,
-            [(s, nprocs, plan_source) for s in seeds],
+            [(s, nprocs, plan_source, sched) for s in seeds],
             jobs=jobs,
             failures=task_failures,
         )
@@ -255,6 +322,6 @@ def fuzz(
         if progress is not None:
             progress(report)
     for s in failing_seeds:
-        report.failures.append(_minimize(s, nprocs, plan_source))
+        report.failures.append(_minimize(s, nprocs, plan_source, sched))
     report.elapsed = time.monotonic() - start
     return report

@@ -20,6 +20,7 @@ import json
 from pathlib import Path
 
 from repro.harness.pipeline import Pipeline, VersionRun
+from repro.runtime.stealing import RR, SchedConfig, fs_bound
 from repro.workloads.registry import by_name
 
 #: The conformance trio: between them they exercise all four transforms
@@ -28,6 +29,13 @@ from repro.workloads.registry import by_name
 GOLDEN_WORKLOADS = ("Maxflow", "Pverify", "Radiosity")
 GOLDEN_NPROCS = 4
 GOLDEN_BLOCK_SIZES = (32, 64, 128)
+
+#: Steal-schedule RNG seeds pinned by the cross-scheduler snapshots.
+GOLDEN_SCHED_SEEDS = (1, 2, 3)
+
+#: Block sizes in the cross-scheduler snapshots: the word size joins the
+#: trio so the FS==0-at-word-blocks obligation is pinned per seed too.
+GOLDEN_SCHED_BLOCK_SIZES = (4,) + GOLDEN_BLOCK_SIZES
 
 #: Schema tag — bump when the snapshot shape changes.
 SCHEMA = 1
@@ -93,6 +101,72 @@ def compute_snapshot(
             "C": _version_record(pipe.run_compiler(nprocs), block_sizes),
         },
     }
+
+
+def sched_golden_path(name: str, directory: Path | None = None) -> Path:
+    d = directory if directory is not None else default_golden_dir()
+    return d / f"sched_{name.lower()}.json"
+
+
+def compute_sched_snapshot(
+    name: str,
+    *,
+    nprocs: int = GOLDEN_NPROCS,
+    block_sizes=GOLDEN_SCHED_BLOCK_SIZES,
+    seeds=GOLDEN_SCHED_SEEDS,
+) -> dict:
+    """Run one workload's natural version under round-robin and under
+    randomized work stealing at each pinned seed.
+
+    The snapshot pins (a) the exact rr miss breakdown, (b) the exact
+    steal miss breakdown *and* steal counters per seed — any change to
+    the steal scheduler's dispatch or RNG consumption order diffs
+    loudly here — and (c) the inputs of the Cole–Ramachandran
+    fs-sanity check (:func:`steal_fs_within_bound`).
+    """
+    wl = by_name(name)
+    rr_pipe = Pipeline(wl.source, sched=RR)
+    record = {
+        "schema": SCHEMA,
+        "workload": wl.name,
+        "nprocs": nprocs,
+        "block_sizes": list(block_sizes),
+        "rr": _version_record(rr_pipe.run_unoptimized(nprocs), block_sizes),
+        "steal": {},
+    }
+    for seed in seeds:
+        pipe = Pipeline(
+            wl.source, sched=SchedConfig("steal", seed=seed)
+        )
+        vr = pipe.run_unoptimized(nprocs)
+        rec = _version_record(vr, block_sizes)
+        rec["sched"] = vr.run.sched
+        record["steal"][str(seed)] = rec
+    return record
+
+
+def steal_fs_within_bound(snapshot: dict) -> list[str]:
+    """The rws sanity property: at every block size and seed, the steal
+    execution's false-sharing misses must sit inside the
+    Cole–Ramachandran bound computed from the rr execution's FS count
+    and the run's own steal counter
+    (:func:`repro.runtime.stealing.fs_bound`)."""
+    out = []
+    nprocs = snapshot["nprocs"]
+    rr_misses = snapshot["rr"]["misses"]
+    for seed, rec in sorted(snapshot["steal"].items()):
+        steals = rec["sched"]["steals"]
+        for bs in snapshot["block_sizes"]:
+            fs_rr = rr_misses[str(bs)]["false_sharing"]
+            fs_steal = rec["misses"][str(bs)]["false_sharing"]
+            bound = fs_bound(fs_rr, steals, bs, nprocs)
+            if fs_steal > bound:
+                out.append(
+                    f"{snapshot['workload']} seed={seed} bs={bs}: steal "
+                    f"FS {fs_steal} exceeds bound {bound} "
+                    f"(rr FS {fs_rr}, {steals} steals)"
+                )
+    return out
 
 
 def dumps(snapshot: dict) -> str:

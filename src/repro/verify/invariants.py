@@ -13,7 +13,18 @@ Every property here is something the paper's miss classification makes
 * **cold misses count first touches** — exactly one cold miss per
   distinct (processor, block) pair referenced in the trace;
 * **engine equivalence** — the vectorized fast engine and the
-  reference simulator agree event-for-event on every counter.
+  reference simulator agree event-for-event on every counter;
+* **schedule independence** — two executions of the same program under
+  different schedules (round-robin vs randomized work stealing, or two
+  steal seeds) must emit the same *write profile*: the multiset of
+  (address, size) write references.  Every write the generated
+  programs perform — data stores, lock test-and-set and release,
+  barrier-arrival RMWs — happens a schedule-invariant number of times;
+  only spin-probe *reads* vary with the interleaving, which is why the
+  profile counts writes, not references.  When the program is
+  additionally race-free (:func:`repro.verify.progen
+  .is_schedule_deterministic`), its output, exit value, and hence
+  final shared state must match too.
 
 Violations are returned as plain strings (empty list = all good) so
 the fuzzer can fold them into a verdict alongside the oracle's.
@@ -23,7 +34,7 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.runtime.trace import Trace
+from repro.runtime.trace import RunResult, Trace
 from repro.sim.coherence import WORD, CacheConfig, SimResult, simulate_trace
 from repro.sim.engine import simulate_trace_fast
 
@@ -147,3 +158,98 @@ def check_trace(
         violations += check_result_internal(ref, trace, f"{label} reference")
         violations += check_result_internal(fast, trace, f"{label} fast")
     return violations
+
+
+# ---------------------------------------------------------------------------
+# Schedule independence
+# ---------------------------------------------------------------------------
+
+#: Cap on per-address diffs carried in one violation message.
+_PROFILE_DIFF_LIMIT = 6
+
+
+def write_profile(trace: Trace) -> dict[tuple[int, int], int]:
+    """Multiset of (address, size) **write** references in a trace.
+
+    The schedule decides which processor issues each write and in what
+    order, but never whether it happens: data stores are in the
+    program, and the synchronization writes (lock TAS on acquire, the
+    release store, the barrier-arrival RMW) occur exactly once per
+    acquire/release/arrival.  Spin probes — the only schedule-varying
+    traffic — are reads, so they are excluded by construction.
+    """
+    if len(trace) == 0:
+        return {}
+    w = np.asarray(trace.is_write, dtype=bool)
+    if not w.any():
+        return {}
+    pairs = np.stack(
+        [trace.addr[w], trace.size[w].astype(np.int64)], axis=1
+    )
+    uniq, counts = np.unique(pairs, axis=0, return_counts=True)
+    return {
+        (int(a), int(s)): int(c)
+        for (a, s), c in zip(uniq.tolist(), counts.tolist())
+    }
+
+
+def _describe_addr(addr: int, regions) -> str:
+    if regions is None:
+        return f"{addr:#x}"
+    try:
+        return f"{addr:#x} ({regions.name_of(addr)})"
+    except Exception:
+        return f"{addr:#x}"
+
+
+def check_schedule_independence(
+    base: RunResult,
+    other: RunResult,
+    *,
+    deterministic: bool,
+    label: str = "sched",
+    regions=None,
+) -> list[str]:
+    """Metamorphic comparison of two runs of one program under two
+    schedules (same source, same layout, same nprocs).
+
+    Always required: identical write profiles — see
+    :func:`write_profile`.  When ``deterministic`` (the program is
+    race-free, so every schedule reaches the same final state):
+    identical output and exit value.  The generated programs print
+    checksums of every shared global after the join, so the output
+    comparison doubles as a final-shared-state comparison.
+
+    ``regions`` (a :class:`~repro.layout.regions.RegionMap`, optional)
+    turns raw addresses in violation messages into structure names.
+    """
+    out: list[str] = []
+    pa, pb = write_profile(base.trace), write_profile(other.trace)
+    if pa != pb:
+        diffs = []
+        for key in sorted(set(pa) | set(pb)):
+            ca, cb = pa.get(key, 0), pb.get(key, 0)
+            if ca != cb:
+                diffs.append((key, ca, cb))
+        shown = ", ".join(
+            f"{_describe_addr(a, regions)}+{s}: {ca} vs {cb}"
+            for (a, s), ca, cb in diffs[:_PROFILE_DIFF_LIMIT]
+        )
+        more = len(diffs) - _PROFILE_DIFF_LIMIT
+        out.append(
+            f"{label}: write profile differs at {len(diffs)} addresses "
+            f"[{shown}{f', +{more} more' if more > 0 else ''}]"
+        )
+    if deterministic:
+        if base.output != other.output:
+            out.append(
+                f"{label}: output differs "
+                f"({base.output!r} vs {other.output!r}) on a race-free "
+                "program"
+            )
+        if base.exit_value != other.exit_value:
+            out.append(
+                f"{label}: exit value {base.exit_value!r} vs "
+                f"{other.exit_value!r} on a race-free program"
+            )
+    return out

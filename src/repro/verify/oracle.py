@@ -37,6 +37,7 @@ from repro.layout.datalayout import DataLayout
 from repro.rsd.descriptor import RSD, Range
 from repro.rsd.expr import Affine
 from repro.runtime.interpreter import Interpreter
+from repro.runtime.stealing import SchedConfig
 from repro.runtime.trace import RunResult
 from repro.transform import decide_transformations
 from repro.transform.plan import (
@@ -219,10 +220,20 @@ def observe(
     *,
     block_size: int = 128,
     max_steps: int = ORACLE_MAX_STEPS,
+    sched: SchedConfig | None = None,
 ) -> tuple[ObservedState, RunResult]:
-    """Execute one version and capture its observable state."""
+    """Execute one version and capture its observable state.
+
+    ``sched`` selects the execution schedule.  Both scheduler kinds
+    consume randomness (if any) independently of data addresses, so a
+    fixed config replays the same interleaving under every layout —
+    which is what makes the natural-vs-transformed comparison sound
+    under a stochastic schedule.
+    """
     layout = DataLayout(checked, plan, block_size=block_size, nprocs=nprocs)
-    interp = Interpreter(checked, layout, nprocs, max_steps=max_steps)
+    interp = Interpreter(
+        checked, layout, nprocs, max_steps=max_steps, sched=sched
+    )
     run = interp.run()
     state = ObservedState(
         output=tuple(run.output),
@@ -377,23 +388,27 @@ def check_program(
     block_size: int = 128,
     plans: list[tuple[str, TransformPlan]] | None = None,
     max_steps: int = ORACLE_MAX_STEPS,
+    sched: SchedConfig | None = None,
 ) -> tuple[list[Verdict], RunResult]:
     """Run the equivalence oracle over every candidate plan.
 
     Returns the per-plan verdicts plus the baseline (natural-layout) run,
-    which callers feed to the simulator invariant checks.
+    which callers feed to the simulator invariant checks.  All runs —
+    baseline and transformed — execute under the same ``sched``, so the
+    comparison isolates the layout as the only variable.
     """
     if plans is None:
         plans = candidate_plans(checked, nprocs, block_size)
     base_state, base_run = observe(
-        checked, None, nprocs, block_size=block_size, max_steps=max_steps
+        checked, None, nprocs,
+        block_size=block_size, max_steps=max_steps, sched=sched,
     )
     verdicts: list[Verdict] = []
     for label, plan in plans:
         try:
             state, _run = observe(
                 checked, plan, nprocs,
-                block_size=block_size, max_steps=max_steps,
+                block_size=block_size, max_steps=max_steps, sched=sched,
             )
         except Exception as e:  # a crash is as disqualifying as a diff
             verdicts.append(

@@ -152,6 +152,63 @@ def generate(seed: int) -> ProgramSpec:
 
 
 # ---------------------------------------------------------------------------
+# Schedule sensitivity
+# ---------------------------------------------------------------------------
+
+#: How each op kind partitions an array's cells across processes.
+#: ``stride`` ops touch cells ``i ≡ pid (mod nprocs)`` (``reduce`` also
+#: reads only its own stride and writes cell ``pid``); ``neighbor``
+#: shifts the stride by one (``(i+1) mod n`` is still a true partition —
+#: every cell has exactly one preimage); ``blocked`` owns a contiguous
+#: chunk.  Within one family the per-pid cell sets are disjoint, so
+#: concurrent ops of the same family never race.
+_PARTITION_FAMILY = {
+    "update": "stride",
+    "cond": "stride",
+    "reduce": "stride",
+    "struct_rmw": "stride",
+    "heap_rmw": "stride",
+    "neighbor": "shift",
+    "blocked": "block",
+}
+
+
+def is_schedule_deterministic(spec: ProgramSpec) -> bool:
+    """Whether every execution schedule yields the same final state.
+
+    The generated worker bodies are data races away from determinism in
+    exactly one way: two ops on the *same array* whose partition
+    families differ (say a stride-partitioned ``update`` and a
+    chunk-partitioned ``blocked``) let pid p write a cell pid q is
+    concurrently reading or writing, so the final state depends on the
+    interleaving.  A ``barrier`` op separates phases — every worker
+    runs the same body, so all ops before it complete before any op
+    after it starts — which resets the per-array family tracking.
+
+    ``locked`` ops are schedule-deterministic despite the contention:
+    the increment is lock-serialized and commutative (the double case
+    adds exactly-representable halves, so even fp addition commutes
+    here).
+
+    The fuzzer uses this to decide whether a cross-scheduler run pair
+    must agree on output and final state, or only on the (always
+    schedule-invariant) write profile.
+    """
+    families: dict[str, set[str]] = {}
+    for op in spec.ops:
+        if op.kind == "barrier":
+            families.clear()
+            continue
+        if op.kind == "locked":
+            continue
+        fams = families.setdefault(op.target, set())
+        fams.add(_PARTITION_FAMILY[op.kind])
+        if len(fams) > 1:
+            return False
+    return True
+
+
+# ---------------------------------------------------------------------------
 # Rendering
 # ---------------------------------------------------------------------------
 

@@ -59,6 +59,56 @@ def test_snapshot_shape():
             )
 
 
+@pytest.mark.parametrize("name", golden.GOLDEN_WORKLOADS)
+def test_sched_snapshot_matches_golden(name, update_golden):
+    """Cross-scheduler conformance: the exact rr and per-seed steal miss
+    breakdowns (and steal counters) are pinned per workload."""
+    actual = golden.compute_sched_snapshot(name)
+    path = golden.sched_golden_path(name)
+    if update_golden:
+        golden.save(actual, path)
+        return
+    assert path.exists(), (
+        f"sched golden snapshot {path} missing — run pytest --update-golden"
+    )
+    expected = golden.load(path)
+    diffs = golden.diff(expected, actual)
+    assert not diffs, (
+        f"{name} diverges from its sched golden snapshot "
+        f"(pytest --update-golden if intended):\n  " + "\n  ".join(diffs)
+    )
+
+
+@pytest.mark.parametrize("name", golden.GOLDEN_WORKLOADS)
+def test_steal_fs_within_rws_bound(name):
+    """The Cole–Ramachandran property on the checked-in snapshots: steal
+    FS stays inside the O(steals × block words) bound over rr FS, at
+    every seed and block size."""
+    snap = golden.load(golden.sched_golden_path(name))
+    assert not golden.steal_fs_within_bound(snap)
+
+
+@pytest.mark.parametrize("name", golden.GOLDEN_WORKLOADS)
+def test_sched_snapshot_shape(name):
+    snap = golden.load(golden.sched_golden_path(name))
+    assert snap["schema"] == golden.SCHEMA
+    assert set(snap["steal"]) == {
+        str(s) for s in golden.GOLDEN_SCHED_SEEDS
+    }
+    assert snap["rr"].get("sched") is None
+    word = str(golden.GOLDEN_SCHED_BLOCK_SIZES[0])
+    assert snap["rr"]["misses"][word]["false_sharing"] == 0
+    for rec in snap["steal"].values():
+        stats = rec["sched"]
+        assert stats["kind"] == "steal"
+        assert stats["steals"] >= 0
+        # word-granularity blocks cannot false-share under any schedule
+        assert rec["misses"][word]["false_sharing"] == 0
+        # steal executions reach the same program results as rr
+        assert rec["output"] == snap["rr"]["output"]
+        assert rec["exit_value"] == snap["rr"]["exit_value"]
+
+
 def test_diff_reports_leaf_paths():
     a = {"x": {"y": 1, "z": 2}}
     b = {"x": {"y": 1, "z": 3}}
