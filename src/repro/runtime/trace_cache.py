@@ -9,17 +9,24 @@ scheduler quantum, step limit)`` — so the complete
 hash of those inputs, and *repeat benchmark runs skip interpretation
 entirely*.
 
-Layout: one ``<key>.npz`` per run under the cache directory.  Small
-runs hold the four trace columns whole (``proc``/``addr``/``size``/
-``is_write``); runs at or above ``REPRO_TRACE_SHARD_REFS`` references
-are stored as **chunked shards** — per-chunk members ``proc_0000``,
-``addr_0000``, … — written incrementally (peak memory O(chunk)) and
-replayable incrementally via :func:`open_run`, which is how the
-streaming simulation boundary replays big workloads without ever
-materializing them.  Either way a JSON ``meta`` member carries the
-scalar counters.  Writes go through a temp file + :func:`os.replace`,
-so concurrent writers (the parallel experiment lab) are safe: last
-writer wins with an identical payload.
+Storage now goes through the unified content-addressed artifact store
+(:mod:`repro.runtime.artifacts`, namespace ``trace``): entries live
+under ``<cache dir>/shards/<hex digit>/trace--<key>.npz`` with an
+integrity sidecar, published atomically under the store's ``flock`` so
+concurrent writers (the parallel experiment lab, service jobs) can race
+on the same key safely and eviction sweeps can never interleave with a
+publish.  Entries written by the pre-store flat layout (``<key>.npz``
+at the cache-directory top level) are adopted into the store lazily on
+first lookup, so a warm legacy cache keeps its hits.
+
+Small runs hold the four trace columns whole (``proc``/``addr``/
+``size``/``is_write``); runs at or above ``REPRO_TRACE_SHARD_REFS``
+references are stored as **chunked shards** — per-chunk members
+``proc_0000``, ``addr_0000``, … — written incrementally (peak memory
+O(chunk)) and replayable incrementally via :func:`open_run`, which is
+how the streaming simulation boundary replays big workloads without
+ever materializing them.  Either way a JSON ``meta`` member carries the
+scalar counters.
 
 Environment knobs
 -----------------
@@ -52,7 +59,6 @@ import hashlib
 import json
 import logging
 import os
-import tempfile
 import time
 import zipfile
 from pathlib import Path
@@ -61,6 +67,7 @@ from typing import Iterator
 import numpy as np
 
 from repro import perf
+from repro.runtime import artifacts
 from repro.runtime.trace import RunResult, Trace
 
 log = logging.getLogger("repro.trace_cache")
@@ -152,9 +159,55 @@ def run_key(
     return h.hexdigest()
 
 
-def _path_for(key: str) -> Path | None:
+def store() -> artifacts.ArtifactStore | None:
+    """The artifact store backing this cache (namespace ``trace``),
+    rooted at the cache directory; None when persistence is off.
+
+    The byte budget is ``REPRO_TRACE_CACHE_MAX_MB`` when set, else the
+    store falls back to the generalized ``REPRO_ARTIFACTS_MAX_MB``.
+    """
     root = cache_dir()
-    return None if root is None else root / f"{key}.npz"
+    if root is None:
+        return None
+    budget = max_bytes()
+    return artifacts.ArtifactStore(
+        root, max_bytes=budget if budget else None
+    )
+
+
+def entry_path(key: str) -> Path | None:
+    """Where ``key``'s payload lives once published (tests, tooling)."""
+    st = store()
+    if st is None:
+        return None
+    return st._payload_path(artifacts.NS_TRACE, key, ".npz")
+
+
+def _lookup(key: str) -> Path | None:
+    """Resolve ``key`` to a readable payload path, adopting flat
+    pre-store entries into the sharded store on first sight."""
+    st = store()
+    if st is None:
+        return None
+    info = st.get(artifacts.NS_TRACE, key)
+    if info is not None:
+        return info.path
+    legacy = cache_dir() / f"{key}.npz"  # type: ignore[operator]
+    if legacy.exists():
+        adopted = st.adopt_file(
+            artifacts.NS_TRACE, key, legacy, ".npz", move=True
+        )
+        if adopted is not None:
+            perf.add("trace_cache.migrated")
+            return adopted.path
+        return legacy
+    return None
+
+
+def _drop(key: str) -> None:
+    st = store()
+    if st is not None:
+        st.delete(artifacts.NS_TRACE, key)
 
 
 def _meta_dict(key: str, run: RunResult) -> dict:
@@ -246,14 +299,6 @@ def _validated_run(z, key: str | None) -> RunResult:
     return _run_from_meta(meta, trace)
 
 
-def _touch(path: Path) -> None:
-    """Refresh the entry's recency for LRU eviction."""
-    try:
-        os.utime(path, None)
-    except OSError:
-        pass
-
-
 def load_run(key: str) -> RunResult | None:
     """Fetch a persisted run, or None on miss/corruption/disabled.
 
@@ -261,8 +306,8 @@ def load_run(key: str) -> RunResult | None:
     dropped with a logged warning and the caller falls back to
     re-interpreting the run.
     """
-    path = _path_for(key)
-    if path is None or not path.exists():
+    path = _lookup(key)
+    if path is None:
         perf.add("trace_cache.miss")
         return None
     try:
@@ -275,13 +320,9 @@ def load_run(key: str) -> RunResult | None:
             "trace cache entry %s is unusable (%s: %s); "
             "recomputing the run", path.name, type(e).__name__, e,
         )
-        try:
-            path.unlink()
-        except OSError:
-            pass
+        _drop(key)
         return None
     perf.add("trace_cache.hit")
-    _touch(path)
     return run
 
 
@@ -339,8 +380,8 @@ def open_run(key: str) -> StoredRun | None:
     """Open a persisted run for **chunk-streamed replay** (the
     simulation side never materializes the whole trace).  None on
     miss/corruption/disabled; corrupt entries are dropped."""
-    path = _path_for(key)
-    if path is None or not path.exists():
+    path = _lookup(key)
+    if path is None:
         perf.add("trace_cache.miss")
         return None
     try:
@@ -353,13 +394,9 @@ def open_run(key: str) -> StoredRun | None:
             "trace cache entry %s is unusable (%s: %s); dropping it",
             path.name, type(e).__name__, e,
         )
-        try:
-            path.unlink()
-        except OSError:
-            pass
+        _drop(key)
         return None
     perf.add("trace_cache.hit")
-    _touch(path)
     return stored
 
 
@@ -402,20 +439,21 @@ class ShardWriter:
 
     def __init__(self, key: str):
         self.key = key
-        self._path = _path_for(key)
         self._zf: zipfile.ZipFile | None = None
-        self._tmp: str | None = None
+        self._writer: artifacts.ArtifactWriter | None = None
         self._n = 0
         self._refs = 0
-        if self._path is None:
+        st = store()
+        if st is None:
+            return
+        self._writer = st.writer(artifacts.NS_TRACE, key, ".npz")
+        if not self._writer.active:
+            perf.add("trace_cache.store_failed")
+            self._writer = None
             return
         try:
-            self._path.parent.mkdir(parents=True, exist_ok=True)
-            fd, self._tmp = tempfile.mkstemp(
-                dir=self._path.parent, prefix=".tmp-", suffix=".npz"
-            )
             self._zf = zipfile.ZipFile(
-                os.fdopen(fd, "wb"), "w", zipfile.ZIP_STORED
+                open(self._writer.path, "wb"), "w", zipfile.ZIP_STORED
             )
         except OSError:
             perf.add("trace_cache.store_failed")
@@ -462,16 +500,18 @@ class ShardWriter:
             ))
             self._zf.close()
             self._zf = None
-            assert self._tmp is not None and self._path is not None
-            os.replace(self._tmp, self._path)
-            self._tmp = None
+            assert self._writer is not None
+            if self._writer.commit() is None:
+                perf.add("trace_cache.store_failed")
+                self._writer = None
+                return False
+            self._writer = None
         except OSError:
             perf.add("trace_cache.store_failed")
             self._cleanup()
             return False
         perf.add("trace_cache.store")
         perf.add("trace_cache.shards", self._n)
-        _enforce_budget(self._path)
         return True
 
     def abort(self) -> None:
@@ -484,12 +524,9 @@ class ShardWriter:
             except OSError:
                 pass
             self._zf = None
-        if self._tmp is not None:
-            try:
-                os.unlink(self._tmp)
-            except OSError:
-                pass
-            self._tmp = None
+        if self._writer is not None:
+            self._writer.abort()
+            self._writer = None
 
 
 def store_run(key: str, run: RunResult) -> bool:
@@ -499,8 +536,8 @@ def store_run(key: str, run: RunResult) -> bool:
     chunked (replayable shard by shard); smaller ones keep the compact
     whole-column layout.
     """
-    path = _path_for(key)
-    if path is None or len(run.trace) < min_refs():
+    st = store()
+    if st is None or len(run.trace) < min_refs():
         return False
     shard = shard_refs()
     if shard and len(run.trace) >= shard:
@@ -514,86 +551,39 @@ def store_run(key: str, run: RunResult) -> bool:
             ))
         return writer.finish(run)
     meta = json.dumps(_meta_dict(key, run)).encode()
+    writer = st.writer(artifacts.NS_TRACE, key, ".npz")
+    if not writer.active:
+        perf.add("trace_cache.store_failed")
+        return False
     try:
-        path.parent.mkdir(parents=True, exist_ok=True)
-        fd, tmp = tempfile.mkstemp(
-            dir=path.parent, prefix=".tmp-", suffix=".npz"
-        )
-        try:
-            with os.fdopen(fd, "wb") as fh:
-                np.savez(
-                    fh,
-                    proc=run.trace.proc,
-                    addr=run.trace.addr,
-                    size=run.trace.size,
-                    is_write=run.trace.is_write,
-                    meta=np.frombuffer(meta, dtype=np.uint8),
-                )
-            os.replace(tmp, path)
-        except BaseException:
-            try:
-                os.unlink(tmp)
-            except OSError:
-                pass
-            raise
+        with open(writer.path, "wb") as fh:
+            np.savez(
+                fh,
+                proc=run.trace.proc,
+                addr=run.trace.addr,
+                size=run.trace.size,
+                is_write=run.trace.is_write,
+                meta=np.frombuffer(meta, dtype=np.uint8),
+            )
     except OSError:
+        perf.add("trace_cache.store_failed")
+        writer.abort()
+        return False
+    if writer.commit() is None:
         perf.add("trace_cache.store_failed")
         return False
     perf.add("trace_cache.store")
-    _enforce_budget(path)
     return True
 
 
-def _enforce_budget(just_stored: Path | None = None) -> list[str]:
-    """Evict least-recently-used entries until the directory fits the
-    ``REPRO_TRACE_CACHE_MAX_MB`` budget.  Returns the evicted file
-    names (for tests and logs).  The entry just stored is exempt — a
-    store must never evict its own payload before first use.
-    """
-    budget = max_bytes()
-    root = cache_dir()
-    if not budget or root is None or not root.exists():
-        return []
-    entries = []
-    total = 0
-    for p in root.glob("*.npz"):
-        try:
-            st = p.stat()
-        except OSError:
-            continue
-        entries.append((st.st_mtime, st.st_size, p))
-        total += st.st_size
-    if total <= budget:
-        return []
-    evicted: list[str] = []
-    entries.sort()  # oldest mtime (= least recently used) first
-    for _mtime, size, p in entries:
-        if total <= budget:
-            break
-        if just_stored is not None and p == just_stored:
-            continue
-        try:
-            p.unlink()
-        except OSError:
-            continue
-        total -= size
-        evicted.append(p.name)
-        perf.add("trace_cache.evicted")
-        perf.add("trace_cache.evicted_bytes", size)
-    if evicted:
-        log.info(
-            "trace cache over budget (%d MB): evicted %d LRU entries (%s)",
-            budget // (1024 * 1024), len(evicted), ", ".join(evicted[:8]),
-        )
-    return evicted
-
-
 def prune() -> int:
-    """Delete every cached run; returns the number removed."""
+    """Delete every cached run (sharded store and any flat pre-store
+    leftovers); returns the number removed."""
     root = cache_dir()
     if root is None or not root.exists():
         return 0
-    n = 0
+    st = store()
+    n = st.prune(artifacts.NS_TRACE) if st is not None else 0
     for path in root.glob("*.npz"):
         try:
             path.unlink()

@@ -1,0 +1,33 @@
+"""The layout-advisor job service.
+
+``repro serve`` turns the batch pipeline — compile → analyze → tune →
+verify — into a long-running advisor: clients submit a program, a
+machine geometry, and an objective (``repro submit``), and get back a
+verified transform-plan recommendation with per-structure attribution
+evidence.  See docs/SERVICE.md for the API, the job lifecycle, and the
+environment knobs.
+
+Layering:
+
+* :mod:`repro.service.jobs` — :class:`JobSpec` / :class:`JobRecord`
+  and the job state machine;
+* :mod:`repro.service.executor` — the synchronous stage runner a
+  worker executes (fans tuner evaluations over
+  :func:`repro.harness.parallel.map_tasks`);
+* :mod:`repro.service.server` — the asyncio :class:`JobManager`
+  (bounded queue, per-job timeouts, cancellation, retry-with-backoff)
+  and the JSON-lines TCP front end;
+* :mod:`repro.service.client` — the blocking client the CLI uses.
+"""
+
+from repro.service.jobs import JobRecord, JobSpec, JobState
+from repro.service.server import JobManager, QueueFullError, serve
+
+__all__ = [
+    "JobManager",
+    "JobRecord",
+    "JobSpec",
+    "JobState",
+    "QueueFullError",
+    "serve",
+]

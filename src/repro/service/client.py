@@ -1,0 +1,117 @@
+"""Blocking JSON-lines client for the job service.
+
+The CLI (``repro submit`` / ``repro jobs``) and the CI smoke test talk
+to ``repro serve`` through this module; tests drive a
+:class:`ServiceClient` against an in-process server.  One TCP
+connection per client, one JSON object per line each way (the protocol
+table lives in :mod:`repro.service.server`).
+"""
+
+from __future__ import annotations
+
+import json
+import socket
+import time
+from pathlib import Path
+from typing import Optional
+
+from repro.errors import ReproError
+
+
+class ServiceError(ReproError):
+    """The server rejected a request (its ``error`` text verbatim)."""
+
+
+def parse_address(text: str) -> tuple[str, int]:
+    """``HOST:PORT`` → (host, port)."""
+    host, sep, port = text.rpartition(":")
+    if not sep or not port.isdigit():
+        raise ReproError(f"bad service address {text!r} (want HOST:PORT)")
+    return host or "127.0.0.1", int(port)
+
+
+def read_port_file(path: str | Path, timeout: float = 10.0) -> tuple[str, int]:
+    """Poll a ``--port-file`` until the server publishes its address."""
+    deadline = time.time() + timeout
+    path = Path(path)
+    while time.time() < deadline:
+        try:
+            text = path.read_text().strip()
+        except OSError:
+            text = ""
+        if text:
+            return parse_address(text)
+        time.sleep(0.05)
+    raise ReproError(f"no service address in {path} after {timeout:.0f}s")
+
+
+class ServiceClient:
+    """One connection to a running service."""
+
+    def __init__(self, host: str, port: int, *, timeout: float = 600.0):
+        self.addr = (host, port)
+        self._sock = socket.create_connection(self.addr, timeout=timeout)
+        self._file = self._sock.makefile("rwb")
+
+    def close(self) -> None:
+        try:
+            self._file.close()
+        finally:
+            self._sock.close()
+
+    def __enter__(self) -> "ServiceClient":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    def request(self, op: str, **fields) -> dict:
+        req = {"op": op, **fields}
+        self._file.write((json.dumps(req) + "\n").encode())
+        self._file.flush()
+        line = self._file.readline()
+        if not line:
+            raise ServiceError(f"server at {self.addr} closed the connection")
+        reply = json.loads(line.decode())
+        if not reply.get("ok"):
+            raise ServiceError(reply.get("error") or "request failed")
+        return reply
+
+    # -- conveniences -----------------------------------------------------------
+
+    def ping(self) -> bool:
+        return bool(self.request("ping").get("pong"))
+
+    def submit(self, spec_dict: dict) -> str:
+        return self.request("submit", spec=spec_dict)["id"]
+
+    def wait(self, job_id: str, timeout: Optional[float] = None) -> dict:
+        return self.request("wait", id=job_id, timeout=timeout)["job"]
+
+    def result(self, job_id: str) -> dict:
+        return self.request("result", id=job_id)["job"]
+
+    def jobs(self) -> list[dict]:
+        return self.request("list")["jobs"]
+
+    def cancel(self, job_id: str) -> dict:
+        return self.request("cancel", id=job_id)["job"]
+
+    def stats(self) -> dict:
+        return self.request("stats")["stats"]
+
+    def shutdown(self) -> None:
+        self.request("shutdown")
+
+
+def connect(address: Optional[str] = None,
+            port_file: Optional[str] = None,
+            timeout: float = 600.0) -> ServiceClient:
+    """Open a client from ``--connect HOST:PORT`` or a ``--port-file``."""
+    if address:
+        host, port = parse_address(address)
+    elif port_file:
+        host, port = read_port_file(port_file)
+    else:
+        raise ReproError("need a service address (--connect or --port-file)")
+    return ServiceClient(host, port, timeout=timeout)

@@ -1,0 +1,171 @@
+"""Job model for the layout-advisor service.
+
+A job is one advisory request: a program (source text), a machine
+geometry (process count + block size), and an objective.  The
+:class:`JobSpec` is what travels over the wire; the :class:`JobRecord`
+is the server-side lifecycle envelope — state machine, timestamps,
+retry count, and finally the result payload the executor produced.
+
+State machine::
+
+    QUEUED ──> RUNNING ──> DONE
+        │          │  └──> FAILED    (retries exhausted / stage error)
+        │          └─────> TIMEOUT   (per-job wall-clock budget)
+        └────────────────> CANCELLED (client cancel while queued)
+
+RUNNING jobs are cancellable too: the manager abandons the in-flight
+attempt (the worker thread finishes but its result is discarded).
+"""
+
+from __future__ import annotations
+
+import enum
+import time
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.errors import ReproError
+
+#: Job kinds the executor understands, in increasing cost order.
+JOB_KINDS = ("analyze", "verify", "tune")
+
+#: Spec wire-schema tag (bump on incompatible change).
+SPEC_SCHEMA = 1
+
+
+class JobState(str, enum.Enum):
+    QUEUED = "queued"
+    RUNNING = "running"
+    DONE = "done"
+    FAILED = "failed"
+    CANCELLED = "cancelled"
+    TIMEOUT = "timeout"
+
+    @property
+    def terminal(self) -> bool:
+        return self not in (JobState.QUEUED, JobState.RUNNING)
+
+
+@dataclass(slots=True)
+class JobSpec:
+    """One advisory request, exactly as submitted."""
+
+    source: str
+    label: str = "submitted"
+    kind: str = "tune"
+    nprocs: int = 4
+    block_size: int = 128
+    objective: str = "fs,cycles"
+    #: tuner evaluation budget (plans scored); ignored for verify/analyze
+    budget: int = 16
+    #: structures the tuner may vary (plan-space width)
+    top: int = 4
+    #: map_tasks fan-out inside the tune stage
+    jobs: int = 1
+    #: per-attempt wall-clock budget, seconds (None: server default)
+    timeout_seconds: Optional[float] = None
+    #: deterministic failure injection: attempts 1..N raise WorkerDeath
+    #: before doing any work (CI exercises the retry path with this)
+    inject_failures: int = 0
+
+    def validate(self) -> None:
+        if self.kind not in JOB_KINDS:
+            raise ReproError(
+                f"unknown job kind {self.kind!r} "
+                f"(choose from {', '.join(JOB_KINDS)})"
+            )
+        if not self.source.strip():
+            raise ReproError("job spec has empty source")
+        if self.nprocs < 1:
+            raise ReproError(f"nprocs must be >= 1, got {self.nprocs}")
+        if self.block_size < 4:
+            raise ReproError(
+                f"block_size must be >= 4, got {self.block_size}"
+            )
+
+    def to_dict(self) -> dict:
+        return {
+            "schema": SPEC_SCHEMA,
+            "source": self.source,
+            "label": self.label,
+            "kind": self.kind,
+            "nprocs": self.nprocs,
+            "block_size": self.block_size,
+            "objective": self.objective,
+            "budget": self.budget,
+            "top": self.top,
+            "jobs": self.jobs,
+            "timeout_seconds": self.timeout_seconds,
+            "inject_failures": self.inject_failures,
+        }
+
+    @classmethod
+    def from_dict(cls, d: dict) -> "JobSpec":
+        spec = cls(
+            source=str(d.get("source", "")),
+            label=str(d.get("label", "submitted")),
+            kind=str(d.get("kind", "tune")),
+            nprocs=int(d.get("nprocs", 4)),
+            block_size=int(d.get("block_size", 128)),
+            objective=str(d.get("objective", "fs,cycles")),
+            budget=int(d.get("budget", 16)),
+            top=int(d.get("top", 4)),
+            jobs=int(d.get("jobs", 1)),
+            timeout_seconds=(
+                None if d.get("timeout_seconds") is None
+                else float(d["timeout_seconds"])
+            ),
+            inject_failures=int(d.get("inject_failures", 0)),
+        )
+        spec.validate()
+        return spec
+
+
+@dataclass(slots=True)
+class JobRecord:
+    """Server-side lifecycle envelope for one job."""
+
+    id: str
+    spec: JobSpec
+    state: JobState = JobState.QUEUED
+    submitted_ts: float = field(default_factory=time.time)
+    started_ts: Optional[float] = None
+    finished_ts: Optional[float] = None
+    retries: int = 0
+    stage: str = "queued"
+    error: Optional[str] = None
+    result: Optional[dict] = None
+
+    @property
+    def queue_wait_seconds(self) -> float:
+        start = self.started_ts if self.started_ts else time.time()
+        return max(start - self.submitted_ts, 0.0)
+
+    @property
+    def exec_seconds(self) -> float:
+        if self.started_ts is None:
+            return 0.0
+        end = self.finished_ts if self.finished_ts else time.time()
+        return max(end - self.started_ts, 0.0)
+
+    def summary(self) -> dict:
+        """The compact wire form (``jobs`` listings, status polls)."""
+        return {
+            "id": self.id,
+            "kind": self.spec.kind,
+            "label": self.spec.label,
+            "nprocs": self.spec.nprocs,
+            "block_size": self.spec.block_size,
+            "state": self.state.value,
+            "stage": self.stage,
+            "retries": self.retries,
+            "queue_wait_seconds": round(self.queue_wait_seconds, 3),
+            "exec_seconds": round(self.exec_seconds, 3),
+            "error": self.error,
+        }
+
+    def to_dict(self) -> dict:
+        """The full wire form (``result`` fetches)."""
+        out = self.summary()
+        out["result"] = self.result
+        return out

@@ -139,18 +139,21 @@ class TestTraceCache:
         assert not (tmp_path / f"{key}.npz").exists()
 
     def test_truncated_entry_recomputed(self, tmp_path, monkeypatch):
-        """A half-written .npz falls back to recomputation, not a crash."""
+        """A half-written .npz falls back to recomputation, not a crash.
+
+        Truncation is caught one layer down now: the artifact store's
+        size check fails before numpy ever sees the payload."""
         monkeypatch.setenv("REPRO_TRACE_CACHE", str(tmp_path))
         monkeypatch.setenv("REPRO_TRACE_CACHE_MIN", "1")
         _, vr = small_run()
         key = trace_cache.run_key("src", "plan", 2, 128, 4, 100)
         assert trace_cache.store_run(key, vr.run)
-        path = tmp_path / f"{key}.npz"
+        path = trace_cache.entry_path(key)
         blob = path.read_bytes()
         path.write_bytes(blob[: len(blob) // 2])
         perf.reset()
         assert trace_cache.load_run(key) is None
-        assert perf.get("trace_cache.corrupt") == 1.0
+        assert perf.get("artifacts.corrupt") == 1.0
         assert not path.exists()  # the bad entry is gone for good
         # and a fresh store round-trips again
         assert trace_cache.store_run(key, vr.run)
@@ -166,9 +169,10 @@ class TestTraceCache:
         key_a = trace_cache.run_key("src-a", "plan", 2, 128, 4, 100)
         key_b = trace_cache.run_key("src-b", "plan", 2, 128, 4, 100)
         assert trace_cache.store_run(key_a, vr.run)
-        # masquerade A's payload as B's entry
-        (tmp_path / f"{key_b}.npz").write_bytes(
-            (tmp_path / f"{key_a}.npz").read_bytes()
+        # masquerade A's payload as B's entry (published properly, so
+        # only the key echo inside the npz can catch the swap)
+        trace_cache.store().adopt_file(
+            "trace", key_b, trace_cache.entry_path(key_a), ".npz"
         )
         perf.reset()
         assert trace_cache.load_run(key_b) is None
@@ -185,13 +189,17 @@ class TestTraceCache:
         _, vr = small_run()
         key = trace_cache.run_key("src", "plan", 2, 128, 4, 100)
         assert trace_cache.store_run(key, vr.run)
-        path = tmp_path / f"{key}.npz"
+        path = trace_cache.entry_path(key)
         with np.load(path, allow_pickle=False) as z:
             data = {name: z[name] for name in z.files}
         meta = json.loads(bytes(data["meta"]).decode())
         del meta["key"]
         data["meta"] = np.frombuffer(json.dumps(meta).encode(), dtype=np.uint8)
-        np.savez(path, **data)
+        doctored = tmp_path / "doctored.npz"
+        np.savez(doctored, **data)
+        # republish so the store sidecar matches the doctored payload
+        trace_cache.store().adopt_file("trace", key, doctored, ".npz",
+                                       move=True)
         perf.reset()
         assert trace_cache.load_run(key) is None
         assert perf.get("trace_cache.corrupt") == 1.0

@@ -1,0 +1,228 @@
+"""The layout-advisor job service: job lifecycle, retry-with-backoff
+on worker death, per-job timeouts, bounded queue, cancellation, the
+JSON-lines wire protocol, and the ``kind="service"`` manifest records.
+
+No pytest-asyncio here: each test drives its own event loop through
+``asyncio.run`` — the service must anyway work from a plain blocking
+caller (the CLI).
+"""
+
+import asyncio
+import json
+
+import pytest
+
+from conftest import COUNTER_SRC
+from repro.errors import ReproError
+from repro.obs import manifest
+from repro.service.client import ServiceClient, parse_address
+from repro.service.jobs import JobSpec, JobState
+from repro.service.server import JobManager, QueueFullError, serve
+
+
+def spec_for(kind="verify", **kw):
+    kw.setdefault("source", COUNTER_SRC)
+    kw.setdefault("label", "counter")
+    kw.setdefault("nprocs", 4)
+    kw.setdefault("block_size", 64)
+    kw.setdefault("budget", 4)
+    kw.setdefault("top", 2)
+    return JobSpec(kind=kind, **kw)
+
+
+def run_jobs(specs, *, workers=2, retries=2, **mgr_kw):
+    """Submit specs against a fresh manager; return terminal records."""
+
+    async def go():
+        mgr = JobManager(workers=workers, retries=retries,
+                         backoff=0.01, **mgr_kw)
+        await mgr.start()
+        try:
+            jobs = [mgr.submit(s) for s in specs]
+            return [await mgr.wait(j.id, timeout=120) for j in jobs]
+        finally:
+            await mgr.stop()
+
+    return asyncio.run(go())
+
+
+# ---------------------------------------------------------------------------
+# spec validation
+# ---------------------------------------------------------------------------
+
+
+def test_spec_roundtrip_and_validation():
+    spec = spec_for("tune", jobs=2, timeout_seconds=30.0)
+    assert JobSpec.from_dict(spec.to_dict()) == spec
+    with pytest.raises(ReproError, match="kind"):
+        JobSpec.from_dict(dict(spec.to_dict(), kind="mine"))
+    with pytest.raises(ReproError, match="source"):
+        spec_for(source="  ").validate()
+    with pytest.raises(ReproError, match="nprocs"):
+        spec_for(nprocs=0).validate()
+
+
+# ---------------------------------------------------------------------------
+# lifecycle: the advisory pipeline end to end
+# ---------------------------------------------------------------------------
+
+
+def test_concurrent_tune_and_verify_jobs_complete():
+    tune, ver = run_jobs([spec_for("tune"), spec_for("verify")])
+    for job in (tune, ver):
+        assert job.state is JobState.DONE
+        assert job.result["verified"], "recommendation must be oracle-checked"
+    # the counter workload's whole point: the plan removes its FS
+    assert tune.result["fs_removed"] > 0
+    assert tune.result["recommended"]["fs_misses"] == 0
+    assert tune.result["natural"]["fs_by_structure"]["counter"] > 0
+    assert tune.result["tune"] is not None
+    assert ver.result["tune"] is None  # verify-only skips the search
+    assert set(tune.result["stage_seconds"]) == {
+        "compile", "analyze", "tune", "verify", "attribute",
+    }
+
+
+def test_worker_death_retries_then_succeeds():
+    (job,) = run_jobs([spec_for("verify", inject_failures=1)])
+    assert job.state is JobState.DONE
+    assert job.retries == 1
+    assert job.result["attempt"] == 2
+
+
+def test_retries_exhausted_fails():
+    (job,) = run_jobs([spec_for("verify", inject_failures=99)], retries=2)
+    assert job.state is JobState.FAILED
+    assert job.retries == 2
+    assert "injected failure" in job.error
+
+
+def test_semantic_error_never_retries():
+    (job,) = run_jobs([spec_for("verify", source="int x = ;")])
+    assert job.state is JobState.FAILED
+    assert job.retries == 0, "a bad program cannot be fixed by retrying"
+
+
+def test_per_job_timeout():
+    (job,) = run_jobs([spec_for("tune", timeout_seconds=0.001)])
+    assert job.state is JobState.TIMEOUT
+    assert "exceeded" in job.error
+
+
+def test_queue_bound_rejects_excess_submits():
+    async def go():
+        mgr = JobManager(workers=1, queue_limit=2)  # workers not started
+        mgr.submit(spec_for())
+        mgr.submit(spec_for())
+        with pytest.raises(QueueFullError):
+            mgr.submit(spec_for())
+
+    asyncio.run(go())
+
+
+def test_cancel_queued_job():
+    async def go():
+        mgr = JobManager(workers=1)  # not started: jobs stay queued
+        job = mgr.submit(spec_for())
+        got = mgr.cancel(job.id)
+        assert got.state is JobState.CANCELLED
+        # terminal event fired, so wait returns immediately
+        assert (await mgr.wait(job.id, timeout=1)).state is \
+            JobState.CANCELLED
+
+    asyncio.run(go())
+
+
+def test_stats_counts_states():
+    async def go():
+        mgr = JobManager(workers=1)
+        mgr.submit(spec_for())
+        mgr.cancel(mgr.submit(spec_for()).id)
+        stats = mgr.stats()
+        assert stats["jobs"] == 2
+        assert stats["states"] == {"queued": 1, "cancelled": 1}
+        assert stats["queue_limit"] == mgr.queue_limit
+
+    asyncio.run(go())
+
+
+# ---------------------------------------------------------------------------
+# manifest records
+# ---------------------------------------------------------------------------
+
+
+def test_service_manifest_records(tmp_path, monkeypatch):
+    log = tmp_path / "runs.jsonl"
+    monkeypatch.setenv(manifest.RUN_LOG_ENV, str(log))
+    ok, bad = run_jobs([
+        spec_for("verify"),
+        spec_for("verify", source="void broken("),
+    ])
+    recs = [json.loads(line) for line in log.read_text().splitlines()]
+    recs = [r for r in recs if r.get("kind") == "service"]
+    assert len(recs) == 2
+    by_state = {r["job_state"]: r for r in recs}
+    done = by_state["done"]
+    assert done["job_id"] == ok.id
+    assert done["verified"] is True
+    assert done["workload"] == "counter"
+    assert done["exec_seconds"] >= 0
+    assert "queue_wait_seconds" in done
+    failed = by_state["failed"]
+    assert failed["error"] and failed["verified"] is None
+
+
+# ---------------------------------------------------------------------------
+# wire protocol
+# ---------------------------------------------------------------------------
+
+
+def test_wire_protocol_end_to_end():
+    """Full TCP loop: a blocking client (in a thread, like the CLI)
+    against the asyncio server — submit, wait, list, stats, errors,
+    shutdown."""
+
+    async def go():
+        ready = asyncio.Event()
+        mgr = JobManager(workers=2, retries=1, backoff=0.01)
+        server_task = asyncio.create_task(
+            serve("127.0.0.1", 0, manager=mgr, ready=ready)
+        )
+        await ready.wait()
+        host, port = mgr.bound
+
+        def drive():
+            with ServiceClient(host, port) as cli:
+                assert cli.ping()
+                job_id = cli.submit(
+                    spec_for("verify", inject_failures=1).to_dict()
+                )
+                job = cli.wait(job_id, timeout=120)
+                assert job["state"] == "done"
+                assert job["retries"] == 1
+                assert job["result"]["verified"]
+
+                assert [j["id"] for j in cli.jobs()] == [job_id]
+                stats = cli.stats()
+                assert stats["served"] == 1 and stats["retried"] == 1
+                assert "artifacts" in stats
+
+                with pytest.raises(ReproError, match="unknown op"):
+                    cli.request("frobnicate")
+                with pytest.raises(ReproError, match="unknown job"):
+                    cli.request("status", id="job-999")
+                with pytest.raises(ReproError, match="source"):
+                    cli.submit(spec_for(source=" ").to_dict())
+                cli.shutdown()
+
+        await asyncio.get_running_loop().run_in_executor(None, drive)
+        await asyncio.wait_for(server_task, timeout=30)
+
+    asyncio.run(go())
+
+
+def test_parse_address():
+    assert parse_address("127.0.0.1:8123") == ("127.0.0.1", 8123)
+    assert parse_address(":8123") == ("127.0.0.1", 8123)
+    with pytest.raises(ReproError):
+        parse_address("nope")

@@ -307,7 +307,7 @@ def test_pipeline_streamed_roundtrip(tmp_path, monkeypatch):
 
     res1, v1 = pipe.simulate_streamed(4, chunk_refs=300)
     assert not v1.from_cache
-    assert list(tmp_path.glob("*.npz")), "streamed run must persist shards"
+    assert list(tmp_path.rglob("*.npz")), "streamed run must persist shards"
     res2, v2 = pipe.simulate_streamed(4, chunk_refs=300)
     assert v2.from_cache
     assert_same_result(res1, expect)

@@ -1,5 +1,7 @@
-"""Persistent trace cache: chunked shards, streaming writer, and the
-``REPRO_TRACE_CACHE_MAX_MB`` LRU size budget.
+"""Persistent trace cache: chunked shards, streaming writer, the
+``REPRO_TRACE_CACHE_MAX_MB`` LRU size budget, and the unified artifact
+store underneath it (sharded layout, atomic flock'd publish, legacy
+flat-layout adoption, racing concurrent writers).
 
 The eviction policy under test: every *load* refreshes an entry's
 recency (mtime), stores enforce the budget afterwards, oldest-unused
@@ -9,6 +11,7 @@ grid keeps re-reading.
 """
 
 import logging
+import multiprocessing
 import os
 import time
 
@@ -119,7 +122,7 @@ def test_shard_writer_streams(cache):
     ))
     aborted.abort()
     assert tc.load_run(key_for(5)) is None
-    assert not list(cache.glob(".tmp-*")), "aborted writer left temp files"
+    assert not list(cache.rglob(".tmp-*")), "aborted writer left temp files"
 
 
 def test_shard_writer_respects_min_refs(cache, monkeypatch):
@@ -134,11 +137,30 @@ def test_shard_writer_respects_min_refs(cache, monkeypatch):
 def test_corrupt_entry_dropped(cache):
     run = make_run(300, seed=7)
     tc.store_run(key_for(7), run)
-    path = cache / f"{key_for(7)}.npz"
+    path = tc.entry_path(key_for(7))
+    assert path.exists()
     path.write_bytes(b"not a zip file")
     assert tc.load_run(key_for(7)) is None
     assert not path.exists()  # dropped, not left to poison every run
     assert tc.open_run(key_for(7)) is None
+
+
+def test_legacy_flat_entry_adopted(cache):
+    """A warm pre-store cache (flat ``<key>.npz`` at the root) keeps
+    its hits: the entry is adopted into the sharded store on first
+    lookup and served from there afterwards."""
+    run = make_run(300, seed=8)
+    tc.store_run(key_for(8), run)
+    sharded = tc.entry_path(key_for(8))
+    legacy = cache / f"{key_for(8)}.npz"
+    os.replace(sharded, legacy)  # demote to the pre-store layout
+    tc.store().delete("trace", key_for(8))
+    assert not sharded.exists()
+
+    assert_run_equal(tc.load_run(key_for(8)), run)  # adopted on lookup
+    assert sharded.exists()
+    assert not legacy.exists()
+    assert_run_equal(tc.load_run(key_for(8)), run)  # now store-served
 
 
 # ---------------------------------------------------------------------------
@@ -147,7 +169,11 @@ def test_corrupt_entry_dropped(cache):
 
 
 def _entry_mb(cache, key):
-    return (cache / f"{key}.npz").stat().st_size / (1024 * 1024)
+    return tc.entry_path(key).stat().st_size / (1024 * 1024)
+
+
+def _stored_names(cache):
+    return {p.name for p in (cache / "shards").rglob("*.npz")}
 
 
 def test_lru_eviction_preserves_mru(cache, monkeypatch):
@@ -170,11 +196,16 @@ def test_lru_eviction_preserves_mru(cache, monkeypatch):
     new_run, new_key = make_run(2000, seed=99), key_for(99)
     assert tc.store_run(new_key, new_run)
 
-    survivors = {p.name for p in cache.glob("*.npz")}
-    assert f"{new_key}.npz" in survivors, "a store never evicts itself"
-    assert f"{keys[0]}.npz" in survivors, "touched entry must survive"
-    assert f"{keys[1]}.npz" not in survivors, "untouched LRU entry evicted"
-    total = sum(p.stat().st_size for p in cache.glob("*.npz"))
+    survivors = _stored_names(cache)
+    assert tc.entry_path(new_key).name in survivors, \
+        "a store never evicts itself"
+    assert tc.entry_path(keys[0]).name in survivors, \
+        "touched entry must survive"
+    assert tc.entry_path(keys[1]).name not in survivors, \
+        "untouched LRU entry evicted"
+    total = sum(
+        p.stat().st_size for p in (cache / "shards").rglob("*.npz")
+    )
     assert total <= one * 2.5 * 1024 * 1024 * 1.01
 
 
@@ -185,7 +216,7 @@ def test_eviction_logs_drops(cache, monkeypatch, caplog):
     monkeypatch.setenv(
         "REPRO_TRACE_CACHE_MAX_MB", str(_entry_mb(cache, key_for(40)) * 1.5)
     )
-    with caplog.at_level(logging.INFO, logger="repro.trace_cache"):
+    with caplog.at_level(logging.INFO, logger="repro.artifacts"):
         tc.store_run(key_for(43), make_run(2000, seed=43))
     assert any("evicted" in r.message for r in caplog.records)
 
@@ -194,13 +225,57 @@ def test_no_budget_means_no_eviction(cache, monkeypatch):
     monkeypatch.delenv("REPRO_TRACE_CACHE_MAX_MB", raising=False)
     for i in range(4):
         tc.store_run(key_for(60 + i), make_run(2000, seed=60 + i))
-    assert len(list(cache.glob("*.npz"))) == 4
+    assert len(_stored_names(cache)) == 4
 
 
 def test_load_refreshes_mtime(cache):
     tc.store_run(key_for(70), make_run(2000, seed=70))
-    path = cache / f"{key_for(70)}.npz"
+    path = tc.entry_path(key_for(70))
     old = path.stat().st_mtime - 3600
     os.utime(path, (old, old))
     assert tc.load_run(key_for(70)) is not None
     assert path.stat().st_mtime > old + 3000
+
+
+# ---------------------------------------------------------------------------
+# satellite: concurrent writers race safely through the artifact store
+# ---------------------------------------------------------------------------
+
+
+def _racing_store(cache_dir, key, n, seed, barrier):
+    os.environ["REPRO_TRACE_CACHE"] = str(cache_dir)
+    os.environ["REPRO_TRACE_CACHE_MIN"] = "1"
+    from repro.runtime import trace_cache as worker_tc
+
+    run = make_run(n, seed)
+    barrier.wait(timeout=30)  # maximize overlap
+    for _ in range(5):
+        worker_tc.store_run(key, run)
+
+
+def test_racing_writers_never_publish_partial_entries(cache):
+    """Two processes repeatedly storing the *same key* concurrently:
+    the flock'd atomic publish guarantees every post-race load sees a
+    complete, validated entry (pre-store, interleaved partial files
+    were possible).  Both writers produce identical payloads, so last
+    writer wins losslessly."""
+    key = key_for(90)
+    run = make_run(3000, seed=90)
+    ctx = multiprocessing.get_context("spawn")
+    barrier = ctx.Barrier(3)
+    procs = [
+        ctx.Process(
+            target=_racing_store, args=(cache, key, 3000, 90, barrier)
+        )
+        for _ in range(2)
+    ]
+    for p in procs:
+        p.start()
+    barrier.wait(timeout=30)
+    for p in procs:
+        p.join(timeout=60)
+        assert p.exitcode == 0
+    got = tc.load_run(key)
+    assert got is not None, "racing writers corrupted the entry"
+    assert_run_equal(got, run)
+    assert not list(cache.rglob(".tmp-*")), "race left temp litter"
