@@ -65,9 +65,11 @@ from repro.errors import ReproError
 from repro.harness import (
     Pipeline,
     WorkloadLab,
+    dynamic,
     figure3,
     figure4,
     headline,
+    render_dynamic,
     render_figure3,
     render_headline,
     render_rws,
@@ -466,6 +468,20 @@ def cmd_experiments(args) -> int:
             json.dump(result.to_dict(), fh, indent=2, sort_keys=True)
             fh.write("\n")
         print(f"[rws record -> {out}]", file=sys.stderr)
+        if not result.ok:
+            return 1
+    elif name == "dynamic":
+        import json
+        import os
+
+        result = dynamic()
+        print(render_dynamic(result))
+        out = args.bench_out or _default_bench_path("BENCH_dynamic.json")
+        os.makedirs(os.path.dirname(out) or ".", exist_ok=True)
+        with open(out, "w") as fh:
+            json.dump(result.to_dict(), fh, indent=2, sort_keys=True)
+            fh.write("\n")
+        print(f"[dynamic record -> {out}]", file=sys.stderr)
         if not result.ok:
             return 1
     else:  # pragma: no cover - argparse restricts choices
@@ -868,6 +884,17 @@ def build_parser() -> argparse.ArgumentParser:
             "$REPRO_SIM_KERNEL — see docs/PERFORMANCE.md",
         )
         sched_opts(p)
+        machine_opts(p)
+
+    def machine_opts(p):
+        from repro.machine import MACHINES
+
+        p.add_argument(
+            "--machine", choices=sorted(MACHINES), default=None,
+            help="machine geometry to simulate (protocol, line size, "
+            "cache shape; default ksr2); also $REPRO_MACHINE — see "
+            "docs/MACHINES.md",
+        )
 
     def sched_opts(p):
         p.add_argument(
@@ -983,7 +1010,7 @@ def build_parser() -> argparse.ArgumentParser:
     p = sub.add_parser("experiments", help="regenerate a paper artifact")
     _EXPERIMENTS = [
         "table1", "figure3", "table2", "figure4", "table3", "headline",
-        "rws",
+        "rws", "dynamic",
     ]
     p.add_argument("name", nargs="?", choices=_EXPERIMENTS, default=None)
     p.add_argument(
@@ -992,10 +1019,11 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p.add_argument(
         "--bench-out", metavar="PATH", default=None,
-        help="where rws writes its BENCH_rws.json record "
-        "(default benchmarks/results/BENCH_rws.json)",
+        help="where rws/dynamic write their BENCH_<name>.json record "
+        "(default benchmarks/results/BENCH_<name>.json)",
     )
     sched_opts(p)
+    machine_opts(p)
     profiled(p)
     p.set_defaults(func=cmd_experiments)
 
@@ -1273,6 +1301,14 @@ def main(argv: list[str] | None = None) -> int:
             os.environ[stealing.ENV_SEED] = str(args.sched_seed)
         if getattr(args, "grain", None) is not None:
             os.environ[stealing.ENV_GRAIN] = str(args.grain)
+    # Same for the machine model: one environment knob, read wherever a
+    # simulation resolves its geometry (CLI commands, lab workers).
+    if getattr(args, "machine", None):
+        import os
+
+        from repro.machine.models import MACHINE_ENV
+
+        os.environ[MACHINE_ENV] = args.machine
     try:
         return args.func(args)
     except ReproError as e:

@@ -1,0 +1,25 @@
+"""Dynamic (runtime) false-sharing mitigation: re-layout at phase
+boundaries, modelled through a phase-aware addressing overlay (see
+:mod:`repro.dynamic.engine` for the design)."""
+
+from repro.dynamic.engine import (
+    MAX_REPAIRS,
+    MIN_PHASE_FS,
+    DynamicRun,
+    PhaseStat,
+    Repair,
+    mitigate,
+)
+from repro.dynamic.overlay import DYN_BASE, AddressOverlay, Relocation
+
+__all__ = [
+    "MAX_REPAIRS",
+    "MIN_PHASE_FS",
+    "DynamicRun",
+    "PhaseStat",
+    "Repair",
+    "mitigate",
+    "DYN_BASE",
+    "AddressOverlay",
+    "Relocation",
+]

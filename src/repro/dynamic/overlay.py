@@ -1,0 +1,180 @@
+"""Phase-aware addressing overlay: the dynamic engine's re-placement
+mechanism.
+
+A *relocation* models what a runtime mitigator does at a phase
+boundary: copy one offending structure to a fresh, cache-block-aligned
+placement and patch the program's addressing to point at it.  The
+overlay is the accumulated set of relocations; translating a trace
+segment through it yields the addresses the re-laid-out program would
+have issued in that phase.
+
+Translation is **single-step** (original address → current placement):
+the interpreter always traces the base layout, each structure is
+repaired at most once, and a repaired structure is excluded from
+further repair — so there is never a chain of relocations to follow,
+and a phase's address column translates in one vectorized pass.
+
+Every relocation is expressible as a per-element base table::
+
+    new_addr = new_elem_base[(addr - lo) // elem_size] + (addr - lo) % elem_size
+
+which covers all three repair shapes drawn from the static transform
+action space:
+
+* **pad & align (whole)** — one "element" spanning the object, moved to
+  a fresh block-aligned base (an affine shift);
+* **pad & align (per element / split)** — element *i* moved to
+  ``base + i * round_up(elem_size, block)``: every element gets its own
+  block, exactly the layout engine's per-element padding;
+* **group by owner** — elements packed contiguously by owning process,
+  each owner segment padded out to a block boundary (Figure 2a's
+  group-and-transpose region, built from the *observed* partition).
+
+Relocated placements live at :data:`DYN_BASE` — above the
+synchronization page and below the interpreter's private-stack space,
+overlapping no base-layout region — so translated and untranslated
+addresses can share one coherence simulation without aliasing.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.errors import ReproError
+
+#: Base of the relocation address space.  Above SYNC_BASE (0x0F00_0000,
+#: so no base-layout segment can collide) and below the interpreter's
+#: PRIVATE_BASE (0x1_0000_0000, which is never traced).
+DYN_BASE = 0x2000_0000
+
+
+def _round_up(n: int, align: int) -> int:
+    return (n + align - 1) // align * align
+
+
+@dataclass(slots=True)
+class Relocation:
+    """One repaired structure: original range and new per-element bases."""
+
+    name: str
+    kind: str  # "pad_align" | "split" | "group_transpose"
+    lo: int
+    hi: int
+    elem_size: int
+    #: new base address of each element (int64, one per element)
+    new_elem_base: np.ndarray
+
+    @property
+    def nelems(self) -> int:
+        return len(self.new_elem_base)
+
+
+@dataclass(slots=True)
+class AddressOverlay:
+    """The accumulated relocations of one dynamic run."""
+
+    block_size: int
+    relocations: list[Relocation] = field(default_factory=list)
+    _cursor: int = DYN_BASE
+
+    def repaired(self, name: str) -> bool:
+        return any(r.name == name for r in self.relocations)
+
+    @property
+    def bytes_moved(self) -> int:
+        """Total payload the modelled runtime copies (repair cost)."""
+        return sum(r.hi - r.lo for r in self.relocations)
+
+    def _alloc(self, size: int) -> int:
+        base = _round_up(self._cursor, self.block_size)
+        # one guard block between placements: a relocation must never
+        # share a line with its neighbour, or the repair would introduce
+        # the false sharing it exists to remove
+        self._cursor = base + _round_up(size, self.block_size) + self.block_size
+        return base
+
+    def _add(self, rel: Relocation) -> Relocation:
+        if self.repaired(rel.name):
+            raise ReproError(f"structure {rel.name!r} is already repaired")
+        for other in self.relocations:
+            if rel.lo < other.hi and other.lo < rel.hi:
+                raise ReproError(
+                    f"relocation {rel.name!r} overlaps {other.name!r}"
+                )
+        self.relocations.append(rel)
+        return rel
+
+    # -- the three repair shapes ------------------------------------------------
+
+    def pad_whole(self, name: str, lo: int, size: int) -> Relocation:
+        """Move the whole object to a fresh block-aligned base."""
+        base = self._alloc(size)
+        return self._add(Relocation(
+            name=name, kind="pad_align", lo=lo, hi=lo + size,
+            elem_size=size,
+            new_elem_base=np.asarray([base], dtype=np.int64),
+        ))
+
+    def pad_elements(
+        self, name: str, lo: int, nelems: int, elem_size: int
+    ) -> Relocation:
+        """Split: give every element its own cache block."""
+        stride = _round_up(elem_size, self.block_size)
+        base = self._alloc(nelems * stride)
+        return self._add(Relocation(
+            name=name, kind="split", lo=lo, hi=lo + nelems * elem_size,
+            elem_size=elem_size,
+            new_elem_base=base + stride * np.arange(nelems, dtype=np.int64),
+        ))
+
+    def group_by_owner(
+        self, name: str, lo: int, nelems: int, elem_size: int,
+        owners: list[int | None], nprocs: int,
+    ) -> Relocation:
+        """Pack elements contiguously by owning process, each owner
+        segment padded to a block boundary (ownerless elements go to a
+        trailing shared segment)."""
+        if len(owners) != nelems:
+            raise ReproError(
+                f"group repair for {name!r}: {len(owners)} owners "
+                f"for {nelems} elements"
+            )
+        bs = self.block_size
+        segment_len = 0
+        for p in list(range(nprocs)) + [None]:
+            count = sum(1 for o in owners if o == p)
+            segment_len = _round_up(segment_len + count * elem_size, bs)
+        base = self._alloc(segment_len)
+        new_bases = np.zeros(nelems, dtype=np.int64)
+        cursor = base
+        for p in list(range(nprocs)) + [None]:
+            for i, o in enumerate(owners):
+                if o == p:
+                    new_bases[i] = cursor
+                    cursor += elem_size
+            cursor = _round_up(cursor, bs)
+        return self._add(Relocation(
+            name=name, kind="group_transpose",
+            lo=lo, hi=lo + nelems * elem_size,
+            elem_size=elem_size, new_elem_base=new_bases,
+        ))
+
+    # -- translation -----------------------------------------------------------
+
+    def translate(self, addrs: np.ndarray) -> np.ndarray:
+        """Map one phase's address column through every relocation
+        (vectorized; untouched addresses pass through unchanged)."""
+        if not self.relocations:
+            return addrs
+        out = np.array(addrs, dtype=np.int64, copy=True)
+        for r in self.relocations:
+            mask = (addrs >= r.lo) & (addrs < r.hi)
+            if not mask.any():
+                continue
+            off = addrs[mask] - r.lo
+            elem = off // r.elem_size
+            within = off - elem * r.elem_size
+            out[mask] = r.new_elem_base[elem] + within
+        return out

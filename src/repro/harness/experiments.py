@@ -653,6 +653,249 @@ def rws(
 
 
 # --------------------------------------------------------------------------
+# Dynamic mitigation (static vs runtime re-layout at phase boundaries)
+# --------------------------------------------------------------------------
+
+#: Same golden trio as the rws sweep: Maxflow and Pverify are barrier
+#: driven (the dynamic engine gets phase boundaries to act on), while
+#: Radiosity's task-queue kernel has none — its dynamic arm degenerates
+#: to the natural layout, the honest control case.
+DYNAMIC_WORKLOADS = ("Maxflow", "Pverify", "Radiosity")
+DYNAMIC_BLOCK_SIZES = (4, 64, 128)
+DYNAMIC_MACHINES = ("ksr2", "modern64", "numa2")
+DYNAMIC_NPROCS = 8
+
+
+@dataclass(slots=True)
+class DynamicPoint:
+    """One (workload, machine, block size) cell: false-sharing misses of
+    the four arms plus what the dynamic engine did."""
+
+    workload: str
+    machine: str
+    block_size: int
+    nprocs: int
+    #: FS misses: natural layout, static compiler plan, natural +
+    #: runtime repairs, compiler plan + runtime repairs
+    fs_natural: int
+    fs_static: int
+    fs_dynamic: int
+    fs_hybrid: int
+    #: repairs each mitigated arm performed
+    dynamic_repairs: int
+    hybrid_repairs: int
+    repaired: list[str] = field(default_factory=list)
+    #: both arms' final accumulated plans passed the verify oracle
+    verified: bool = False
+
+    @property
+    def dynamic_helps(self) -> bool:
+        """Runtime mitigation never made the natural layout worse."""
+        return self.fs_dynamic <= self.fs_natural
+
+    @property
+    def hybrid_best(self) -> bool:
+        return self.fs_hybrid <= min(self.fs_static, self.fs_dynamic)
+
+    def to_dict(self) -> dict:
+        return {
+            "workload": self.workload,
+            "machine": self.machine,
+            "block_size": self.block_size,
+            "nprocs": self.nprocs,
+            "fs_natural": self.fs_natural,
+            "fs_static": self.fs_static,
+            "fs_dynamic": self.fs_dynamic,
+            "fs_hybrid": self.fs_hybrid,
+            "dynamic_repairs": self.dynamic_repairs,
+            "hybrid_repairs": self.hybrid_repairs,
+            "repaired": list(self.repaired),
+            "verified": self.verified,
+            "dynamic_helps": self.dynamic_helps,
+            "hybrid_best": self.hybrid_best,
+        }
+
+
+@dataclass(slots=True)
+class DynamicResult:
+    """The full static-vs-dynamic-vs-hybrid sweep."""
+
+    workloads: tuple[str, ...]
+    machines: tuple[str, ...]
+    block_sizes: tuple[int, ...]
+    nprocs: int
+    points: list[DynamicPoint] = field(default_factory=list)
+
+    @property
+    def verified_ok(self) -> bool:
+        return all(p.verified for p in self.points)
+
+    def hybrid_wins(self) -> dict[str, bool]:
+        """Per workload: did the hybrid arm beat (or match) both pure
+        arms on every machine/block-size cell?"""
+        wins: dict[str, bool] = {}
+        for p in self.points:
+            wins[p.workload] = wins.get(p.workload, True) and p.hybrid_best
+        return wins
+
+    @property
+    def ok(self) -> bool:
+        """The headline claim: every final plan verified, dynamic never
+        hurt, and hybrid ≤ min(static, dynamic) on at least two of the
+        three workloads."""
+        wins = sum(1 for won in self.hybrid_wins().values() if won)
+        return (
+            self.verified_ok
+            and all(p.dynamic_helps for p in self.points)
+            and wins >= 2
+        )
+
+    def to_dict(self) -> dict:
+        """The JSON written to ``benchmarks/results/BENCH_dynamic.json``."""
+        return {
+            "experiment": "dynamic",
+            "workloads": list(self.workloads),
+            "machines": list(self.machines),
+            "block_sizes": list(self.block_sizes),
+            "nprocs": self.nprocs,
+            "ok": self.ok,
+            "verified_ok": self.verified_ok,
+            "hybrid_wins": self.hybrid_wins(),
+            "points": [p.to_dict() for p in self.points],
+        }
+
+
+def _plan_verified(checked, plan, nprocs: int, cache: dict) -> bool:
+    """Oracle-check one accumulated plan (memoized per fingerprint —
+    the same final plan recurs across machines and block sizes)."""
+    from repro.verify.oracle import diff_states, observe
+
+    if plan.is_empty:
+        return True
+    fp = plan.fingerprint
+    got = cache.get(fp)
+    if got is None:
+        base = cache.get("__base__")
+        if base is None:
+            base = cache["__base__"] = observe(checked, None, nprocs)[0]
+        got = cache[fp] = not diff_states(
+            base, observe(checked, plan, nprocs)[0]
+        )
+    return got
+
+
+def _record_dynamic_point(
+    wl: Workload, vr: VersionRun, arm: str, model, dyn, verified: bool
+) -> None:
+    """One schema-3 manifest record per mitigated arm (no-op when
+    ``REPRO_RUN_LOG`` is unset): machine identity from the model, the
+    engine's counters under ``dynamic``."""
+    from repro.obs import manifest
+
+    if manifest.log_path() is None:
+        return
+    manifest.record(
+        manifest.sim_record(
+            kind="dynamic",
+            workload=f"{wl.name}/{arm}",
+            source=wl.source,
+            plan_desc=dyn.plan.describe(),
+            nprocs=vr.nprocs,
+            block_size=dyn.result.config.block_size,
+            sim=dyn.result,
+            dynamic=dyn.counters(),
+            machine_name=model.name,
+            extra={"arm": arm, "verified": verified},
+        )
+    )
+
+
+@_spanned
+def dynamic(
+    workloads: Sequence[str] = DYNAMIC_WORKLOADS,
+    machines: Sequence[str] = DYNAMIC_MACHINES,
+    block_sizes: Sequence[int] = DYNAMIC_BLOCK_SIZES,
+    nprocs: int = DYNAMIC_NPROCS,
+) -> "DynamicResult":
+    """Static vs dynamic vs hybrid false-sharing mitigation across
+    machine geometries.
+
+    Four arms per (workload, machine, block size) cell, all over the
+    same two interpreted runs:
+
+    * **natural** — the unoptimized layout, simulated as-is;
+    * **static** — the compiler plan's layout, simulated as-is;
+    * **dynamic** — the natural run fed through
+      :func:`repro.dynamic.mitigate`, which re-lays-out the worst
+      false-sharing structure at each barrier release;
+    * **hybrid** — the compiler-plan run with the same online engine
+      repairing whatever the static heuristics left behind.
+
+    Every mitigated arm's accumulated plan is checked by the verify
+    oracle; a cell only counts as verified when both pass.
+    """
+    from repro.dynamic import mitigate
+    from repro.machine import get_machine
+
+    result = DynamicResult(
+        workloads=tuple(workloads),
+        machines=tuple(machines),
+        block_sizes=tuple(block_sizes),
+        nprocs=nprocs,
+    )
+    for name in workloads:
+        wl = by_name(name)
+        pipe = Pipeline(wl.source, sched=RR)
+        nat = pipe.run_unoptimized(nprocs)
+        stat = pipe.run_compiler(nprocs)
+        pa = pipe.analysis(nprocs)
+        plan_c = pipe.compiler_plan(nprocs)
+        oracle_cache: dict = {}
+        for mname in machines:
+            model = get_machine(mname)
+            for bs in block_sizes:
+                sn = nat.simulate(bs, machine=model)
+                ss = stat.simulate(bs, machine=model)
+                dyn = mitigate(
+                    pipe.checked, nat.layout, nat.run,
+                    nprocs=nprocs, block_size=bs, machine=model,
+                    analysis=pa,
+                )
+                hyb = mitigate(
+                    pipe.checked, stat.layout, stat.run,
+                    nprocs=nprocs, block_size=bs, machine=model,
+                    base_plan=plan_c, analysis=pa,
+                )
+                verified = _plan_verified(
+                    pipe.checked, dyn.plan, nprocs, oracle_cache
+                ) and _plan_verified(
+                    pipe.checked, hyb.plan, nprocs, oracle_cache
+                )
+                _record_dynamic_point(wl, nat, "D", model, dyn, verified)
+                _record_dynamic_point(wl, stat, "H", model, hyb, verified)
+                result.points.append(
+                    DynamicPoint(
+                        workload=wl.name,
+                        machine=model.name,
+                        block_size=bs,
+                        nprocs=nprocs,
+                        fs_natural=sn.misses.false_sharing,
+                        fs_static=ss.misses.false_sharing,
+                        fs_dynamic=dyn.result.misses.false_sharing,
+                        fs_hybrid=hyb.result.misses.false_sharing,
+                        dynamic_repairs=len(dyn.repairs),
+                        hybrid_repairs=len(hyb.repairs),
+                        repaired=sorted(
+                            {r.structure for r in dyn.repairs}
+                            | {r.structure for r in hyb.repairs}
+                        ),
+                        verified=verified,
+                    )
+                )
+    return result
+
+
+# --------------------------------------------------------------------------
 # Headline statistics (section 5 text)
 # --------------------------------------------------------------------------
 

@@ -6,6 +6,7 @@ from __future__ import annotations
 from typing import Sequence
 
 from repro.harness.experiments import (
+    DynamicResult,
     Figure3Result,
     HeadlineStats,
     RwsResult,
@@ -148,6 +149,38 @@ def render_rws(result: RwsResult) -> str:
         else f"{len(result.violations())} POINTS EXCEED THE BOUND"
     )
     lines.append(f"=> {status}")
+    return "\n".join(lines)
+
+
+def render_dynamic(result: DynamicResult) -> str:
+    """Static vs dynamic vs hybrid mitigation, one row per sweep cell."""
+    lines = [
+        "Dynamic mitigation: false-sharing misses per arm "
+        "(N natural / C static plan / D runtime repairs / H both)",
+        f"{'Program':<12} {'machine':<9} {'bs':>4} "
+        f"{'FS(N)':>7} {'FS(C)':>7} {'FS(D)':>7} {'FS(H)':>7} "
+        f"{'reps':>5}  repaired",
+    ]
+    for p in result.points:
+        flags = "" if p.verified else "  UNVERIFIED"
+        reps = f"{p.dynamic_repairs}/{p.hybrid_repairs}"
+        lines.append(
+            f"{p.workload:<12} {p.machine:<9} {p.block_size:>4} "
+            f"{p.fs_natural:>7} {p.fs_static:>7} {p.fs_dynamic:>7} "
+            f"{p.fs_hybrid:>7} {reps:>5}  "
+            f"{', '.join(p.repaired) or '-'}{flags}"
+        )
+    wins = result.hybrid_wins()
+    lines.append(
+        "=> hybrid <= min(static, dynamic) on "
+        f"{sum(1 for w in wins.values() if w)}/{len(wins)} workloads "
+        f"({', '.join(sorted(n for n, w in wins.items() if w)) or 'none'}); "
+        + (
+            "all final plans verified"
+            if result.verified_ok
+            else "SOME FINAL PLANS FAILED THE ORACLE"
+        )
+    )
     return "\n".join(lines)
 
 

@@ -1,5 +1,7 @@
-"""KSR2 timing model and speedup-curve machinery (the paper's
-execution-time experiments, section 5)."""
+"""Machine models: the registry of simulated geometries
+(KSR2 / modern64 / numa2), the KSR2 timing model, and the
+speedup-curve machinery (the paper's execution-time experiments,
+section 5)."""
 
 from repro.machine.ksr2 import (
     KSR2Config,
@@ -7,6 +9,15 @@ from repro.machine.ksr2 import (
     base_latency,
     execution_time,
     time_run,
+)
+from repro.machine.models import (
+    DEFAULT_MACHINE,
+    MACHINE_ENV,
+    MACHINES,
+    MachineModel,
+    active_machine,
+    get_machine,
+    resolve_machine,
 )
 from repro.machine.speedup import (
     DEFAULT_PROC_COUNTS,
@@ -16,6 +27,13 @@ from repro.machine.speedup import (
 )
 
 __all__ = [
+    "DEFAULT_MACHINE",
+    "MACHINE_ENV",
+    "MACHINES",
+    "MachineModel",
+    "active_machine",
+    "get_machine",
+    "resolve_machine",
     "KSR2Config",
     "TimingResult",
     "base_latency",

@@ -12,17 +12,18 @@ pipeline never pays for observability it was not asked for).  Appends
 are line-atomic (one ``write`` of one ``\\n``-terminated line), so
 concurrent experiment processes can share a log.
 
-Schema 2 (one JSON object per line)::
+Schema 3 (one JSON object per line)::
 
     {
-      "schema": 2,
+      "schema": 3,
       "ts": "2026-08-06T12:00:00+00:00",   # UTC, ISO-8601
-      "kind": "simulate" | "profile" | "experiment" | ...,
+      "kind": "simulate" | "profile" | "experiment" | "dynamic" | ...,
       "workload": "Maxflow",
       "source_sha256": "...",              # hash of the source text
       "plan": "TransformPlan(...)",        # or "natural"
       "nprocs": 12, "block_size": 128,
-      "machine": {"cache_size": ..., "assoc": ..., "block_size": ...},
+      "machine": {"name": "ksr2", "protocol": "msi", "line_size": 128,
+                  "cache_size": ..., "assoc": ..., "block_size": ...},
       "kernel": "native" | "python" | null,  # protocol core that ran
       "chunk_size": 262144 | null,         # refs/chunk of a streamed run
       "stream": {"chunks_produced": ..., "chunks_consumed": ...,
@@ -30,13 +31,17 @@ Schema 2 (one JSON object per line)::
       "refs": 123456, "trace_len": 120000,
       "misses": {"cold": ..., "replace": ..., "true": ..., "false": ...},
       "fs_by_structure": {"counter": 123, ...},
+      "dynamic": {"repairs": 2, "phases": 5, ...},  # runtime-repair counters
       "perf": {"trace_cache.hit": 1, ...}, # cache/stream/kernel counters
       "spans": {"pipeline.execute": 0.81, ...}  # seconds per span name
     }
 
-Schema 1 records lack ``kernel``/``chunk_size``/``stream``;
-:func:`upgrade_record` fills the gaps, and the readers here (and the
-manifest store's ingest path) upgrade rather than reject them.
+Schema 1 records lack ``kernel``/``chunk_size``/``stream``; schema 2
+records lack the machine identity (``name``/``protocol``/``line_size``
+— every pre-3 record simulated the hard-coded KSR2 MSI geometry) and
+the ``dynamic`` repair counters.  :func:`upgrade_record` fills the
+gaps for both vintages, and the readers here (and the manifest store's
+ingest path) upgrade rather than reject them.
 """
 
 from __future__ import annotations
@@ -52,7 +57,9 @@ RUN_LOG_ENV = "REPRO_RUN_LOG"
 #: Bump when the record shape changes incompatibly.  2 adds the
 #: streaming/native-era fields: ``kernel``, ``chunk_size``, ``stream``,
 #: and the trace-cache shard/eviction + stream + per-core counters.
-SCHEMA = 2
+#: 3 adds the machine identity (``machine.name``/``.protocol``/
+#: ``.line_size``) and the ``dynamic`` runtime-repair counters.
+SCHEMA = 3
 
 #: perf counters worth persisting (cache behaviour + stage seconds +
 #: streaming-boundary and protocol-core accounting).
@@ -91,6 +98,7 @@ _PERF_KEYS = (
     "kernel.build",
     "kernel.built",
     "kernel.envelope_fallback",
+    "kernel.protocol_fallback",
     "stream.chunks",
     "stream.refs",
     "stream.stall_seconds",
@@ -99,7 +107,8 @@ _PERF_KEYS = (
 )
 
 #: Fields every upgraded record is guaranteed to carry, with their
-#: schema-2 defaults (what :func:`upgrade_record` backfills).
+#: schema-2 defaults (what :func:`upgrade_record` backfills for
+#: schema-1 lines).
 _SCHEMA2_DEFAULTS: dict[str, object] = {
     "kind": "",
     "workload": "",
@@ -117,6 +126,14 @@ _SCHEMA2_DEFAULTS: dict[str, object] = {
     "fs_by_structure": {},
     "perf": {},
     "spans": {},
+}
+
+#: Schema-3 additions (what :func:`upgrade_record` backfills on top of
+#: the schema-2 shape): runtime-repair counters, plus the machine
+#: identity fields inside ``machine`` (handled specially — every
+#: schema-≤2 record ran the hard-coded KSR2 MSI geometry).
+_SCHEMA3_DEFAULTS: dict[str, object] = {
+    "dynamic": {},
 }
 
 
@@ -148,6 +165,7 @@ def build_record(
     trace_len: int = 0,
     misses: dict | None = None,
     fs_by_structure: dict | None = None,
+    dynamic: dict | None = None,
     perf_snapshot: dict | None = None,
     span_timings: dict | None = None,
     extra: dict | None = None,
@@ -158,7 +176,9 @@ def build_record(
     ``chunk_size`` is the refs-per-chunk of a streamed run (None for
     the monolithic path); ``stream`` is
     :meth:`repro.runtime.stream.StreamStats.to_dict` when the run went
-    through the producer-consumer boundary.
+    through the producer-consumer boundary; ``dynamic`` carries the
+    runtime-repair counters of a dynamic-mitigation run
+    (:meth:`repro.dynamic.engine.DynamicRun.counters`).
     """
     perf_part = {
         k: v for k, v in (perf_snapshot or {}).items() if k in _PERF_KEYS
@@ -180,6 +200,7 @@ def build_record(
         "trace_len": int(trace_len),
         "misses": misses or {},
         "fs_by_structure": fs_by_structure or {},
+        "dynamic": dynamic or {},
         "perf": perf_part,
         "spans": {k: round(v, 6) for k, v in (span_timings or {}).items()},
     }
@@ -198,6 +219,8 @@ def sim_record(
     block_size: int,
     sim=None,
     fs_by_structure: dict | None = None,
+    dynamic: dict | None = None,
+    machine_name: str | None = None,
     chunk_size: int | None = None,
     stream: dict | None = None,
     span_timings: dict | None = None,
@@ -206,10 +229,25 @@ def sim_record(
     """Build a record straight from a
     :class:`~repro.sim.coherence.SimResult` — the shared assembly used
     by the CLI commands and the experiment drivers, so every ingest
-    path records the same shape (machine geometry, miss breakdown,
-    kernel choice, perf snapshot)."""
+    path records the same shape (machine identity + geometry, miss
+    breakdown, kernel choice, perf snapshot).  ``machine_name``
+    defaults to the active :mod:`repro.machine.models` selection."""
     from repro import perf as _perf
+    from repro.machine.models import active_machine
 
+    if sim is None:
+        mach = {}
+    else:
+        if machine_name is None:
+            machine_name = active_machine().name
+        mach = {
+            "name": machine_name,
+            "protocol": sim.config.protocol,
+            "line_size": sim.config.block_size,
+            "cache_size": sim.config.size,
+            "assoc": sim.config.assoc,
+            "block_size": sim.config.block_size,
+        }
     return build_record(
         kind=kind,
         workload=workload,
@@ -217,15 +255,7 @@ def sim_record(
         plan_desc=plan_desc,
         nprocs=nprocs,
         block_size=block_size,
-        machine=(
-            {}
-            if sim is None
-            else {
-                "cache_size": sim.config.size,
-                "assoc": sim.config.assoc,
-                "block_size": sim.config.block_size,
-            }
-        ),
+        machine=mach,
         kernel=None if sim is None else sim.kernel,
         chunk_size=chunk_size,
         stream=stream,
@@ -242,6 +272,7 @@ def sim_record(
             }
         ),
         fs_by_structure=fs_by_structure or {},
+        dynamic=dynamic or {},
         perf_snapshot=_perf.snapshot(),
         span_timings=span_timings,
         extra=extra,
@@ -249,18 +280,30 @@ def sim_record(
 
 
 def upgrade_record(rec: dict) -> dict:
-    """Return ``rec`` upgraded in-shape to schema 2 (a new dict).
+    """Return ``rec`` upgraded in-shape to schema 3 (a new dict).
 
-    Schema-1 lines — and hand-edited or partially truncated records —
-    are never rejected: missing fields get their schema-2 defaults, so
-    every consumer (the store's ingest, ``repro history``, the
-    dashboard) sees one uniform shape.  Unknown extra fields are kept.
+    Schema-1 and schema-2 lines — and hand-edited or partially
+    truncated records — are never rejected: missing fields get their
+    defaults, so every consumer (the store's ingest, ``repro history``,
+    the dashboard) sees one uniform shape.  Unknown extra fields are
+    kept.  A schema-≤2 record with a cache geometry but no machine
+    identity gets ``name="ksr2"``/``protocol="msi"`` backfilled: every
+    record of that vintage ran the single hard-coded KSR2 geometry.
     """
     out = dict(rec)
-    for key, default in _SCHEMA2_DEFAULTS.items():
-        if key not in out or out[key] is None and isinstance(default, dict):
-            # copy mutable defaults so records never share dicts
-            out[key] = dict(default) if isinstance(default, dict) else default
+    for defaults in (_SCHEMA2_DEFAULTS, _SCHEMA3_DEFAULTS):
+        for key, default in defaults.items():
+            if key not in out or out[key] is None and isinstance(default, dict):
+                # copy mutable defaults so records never share dicts
+                out[key] = dict(default) if isinstance(default, dict) else default
+    mach = out.get("machine")
+    if isinstance(mach, dict) and mach and "protocol" not in mach:
+        mach = dict(mach)  # never mutate the caller's record
+        mach.setdefault("name", "ksr2")
+        mach["protocol"] = "msi"
+        if "line_size" not in mach and "block_size" in mach:
+            mach["line_size"] = mach["block_size"]
+        out["machine"] = mach
     if "ts" not in out:
         out["ts"] = ""
     out["schema"] = SCHEMA

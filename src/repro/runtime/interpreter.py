@@ -134,6 +134,13 @@ class Interpreter:
             )
         else:
             self.sched = Scheduler(quantum=quantum, max_steps=max_steps)
+        #: trace indices of barrier releases (phase boundaries); both
+        #: TraceBuffer and ChunkSink expose __len__, so the mark is the
+        #: number of references emitted before the release.
+        self.phase_marks: list[int] = []
+        self.sched.on_barrier_release = lambda: self.phase_marks.append(
+            len(self.trace)
+        )
         self.heap_cursor = HEAP_BASE
         self.arena_cursors: dict[int, int] = {}
         #: pointer-cell addr -> owning pid (indirection bookkeeping)
@@ -173,6 +180,7 @@ class Interpreter:
             exit_value=self.exit_value,
             heap_segments=list(self.heap_segments),
             sched=self.sched.stats(),
+            phase_marks=list(self.phase_marks),
         )
 
     def _main_gen(self, proc: Proc) -> Iterator:

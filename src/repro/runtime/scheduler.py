@@ -59,6 +59,10 @@ class Scheduler:
         self.barrier_generation = 0
         self.barrier_waiting: set[int] = set()
         self.steps = 0
+        #: fired (no args) each time a barrier releases — i.e. at every
+        #: phase boundary.  The interpreter hooks this to record phase
+        #: marks for the dynamic mitigation engine.
+        self.on_barrier_release = None
 
     # -- process management ------------------------------------------------------
 
@@ -91,6 +95,8 @@ class Scheduler:
         if live and self.barrier_waiting >= live:
             self.barrier_generation += 1
             self.barrier_waiting.clear()
+            if self.on_barrier_release is not None:
+                self.on_barrier_release()
 
     def note_worker_done(self) -> None:
         # a worker finishing may satisfy a pending barrier

@@ -146,6 +146,10 @@ class RunResult:
     #: deterministic round-robin, a dict with steal/migration counts
     #: under randomized work stealing
     sched: dict | None = None
+    #: trace indices at which a barrier released: reference ``i`` with
+    #: ``phase_marks[k-1] <= i < phase_marks[k]`` executed in phase ``k``.
+    #: Empty for barrier-free programs.
+    phase_marks: list[int] = field(default_factory=list)
 
     @property
     def total_refs(self) -> int:

@@ -75,8 +75,10 @@ log = logging.getLogger("repro.trace_cache")
 #: Bump when interpreter/layout semantics change observable runs (2:
 #: entries self-identify with their key and are validated on load; 3:
 #: the scheduler — kind, seed, grain — joins the key, so a steal-mode
-#: run can never replay an rr-mode entry or vice versa).
-SCHEMA = 3
+#: run can never replay an rr-mode entry or vice versa; 4: runs carry
+#: ``phase_marks`` — barrier-release trace indices — which the dynamic
+#: mitigation engine needs, so pre-4 entries must re-interpret).
+SCHEMA = 4
 
 #: Metadata fields a well-formed entry must carry.
 _REQUIRED_META = (
@@ -221,6 +223,7 @@ def _meta_dict(key: str, run: RunResult) -> dict:
         "exit_value": run.exit_value,
         "heap_segments": run.heap_segments,
         "sched": run.sched,
+        "phase_marks": run.phase_marks,
     }
 
 
@@ -235,6 +238,7 @@ def _run_from_meta(meta: dict, trace: Trace) -> RunResult:
         exit_value=meta["exit_value"],
         heap_segments=[tuple(seg) for seg in meta["heap_segments"]],
         sched=meta.get("sched"),
+        phase_marks=[int(m) for m in meta.get("phase_marks", [])],
     )
 
 

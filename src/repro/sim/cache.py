@@ -12,11 +12,18 @@ from dataclasses import dataclass
 
 from repro.errors import SimulationError
 
-#: MSI states (the paper's write-invalidate protocol needs no E state
-#: for its metrics; O is not modelled).
+#: Coherence states.  The paper's write-invalidate protocol is plain
+#: MSI; EXCLUSIVE extends it to MESI for the modern machine geometries
+#: (a read miss with no other valid holder installs E; a write hit on E
+#: upgrades to M silently, with no invalidation broadcast).  O is not
+#: modelled.
 INVALID = 0
 SHARED = 1
 MODIFIED = 2
+EXCLUSIVE = 3
+
+#: Coherence protocols :class:`CacheConfig` accepts.
+PROTOCOLS = ("msi", "mesi")
 
 
 @dataclass(frozen=True, slots=True)
@@ -24,6 +31,9 @@ class CacheConfig:
     size: int = 32 * 1024
     block_size: int = 128
     assoc: int = 4
+    #: write-invalidate protocol variant: ``"msi"`` (the paper's) or
+    #: ``"mesi"`` (modern geometries; adds the Exclusive state)
+    protocol: str = "msi"
 
     def __post_init__(self):
         if self.block_size <= 0 or self.block_size & (self.block_size - 1):
@@ -32,6 +42,11 @@ class CacheConfig:
             raise SimulationError(
                 f"cache size {self.size} not divisible by block*assoc "
                 f"({self.block_size}*{self.assoc})"
+            )
+        if self.protocol not in PROTOCOLS:
+            raise SimulationError(
+                f"unknown coherence protocol {self.protocol!r} "
+                f"(expected one of {', '.join(PROTOCOLS)})"
             )
 
     @property

@@ -40,8 +40,11 @@ from typing import Iterator
 
 import numpy as np
 
+from repro.errors import SimulationError
 from repro.runtime.trace import Trace
-from repro.sim.cache import Cache, CacheConfig, INVALID, MODIFIED, SHARED
+from repro.sim.cache import (
+    Cache, CacheConfig, EXCLUSIVE, INVALID, MODIFIED, SHARED,
+)
 
 WORD = 4
 
@@ -188,6 +191,18 @@ class CoherenceSim:
         self.nprocs = nprocs
         self.config = config
         self.word_invalidate = word_invalidate
+        #: MESI adds the Exclusive state: a read miss with no other
+        #: valid holder installs E, a write hit on E upgrades to M
+        #: silently (no invalidation broadcast, no upgrade transaction),
+        #: and a remote read miss demotes E→S *without* a writeback.
+        #: Miss classification is untouched — E only changes which
+        #: transitions cost bus transactions.
+        self.mesi = config.protocol == "mesi"
+        if self.mesi and word_invalidate:
+            raise SimulationError(
+                "word-granularity invalidation is modelled for the "
+                "paper's MSI protocol only (got protocol='mesi')"
+            )
         #: (proc, block) -> set of invalidated word indices (word mode)
         self.stale_words: dict[tuple[int, int], set[int]] = {}
         self.caches: dict[int, Cache] = {}
@@ -285,6 +300,11 @@ class CoherenceSim:
                 self._invalidate_others(proc, block, w_lo, w_hi)
                 cache.set_state(block, MODIFIED)
                 self.upgrades += 1
+            elif is_write and state == EXCLUSIVE:
+                # MESI silent upgrade: no other cache holds the block,
+                # so no invalidation broadcast and no upgrade
+                # transaction is needed
+                cache.set_state(block, MODIFIED)
             elif is_write and self.word_invalidate:
                 # word mode: several caches may hold dirty copies with
                 # disjoint dirty words; every write pushes word
@@ -342,13 +362,26 @@ class CoherenceSim:
             self._invalidate_others(proc, block, w_lo, w_hi)
             new_state = MODIFIED
         else:
-            # demote a remote MODIFIED copy to SHARED (writeback)
-            for other in self.sharers.get(block, ()):  # at most one M holder
+            # demote a remote MODIFIED copy to SHARED (writeback); under
+            # MESI a remote EXCLUSIVE copy also demotes, but clean — no
+            # writeback
+            others_valid = False
+            for other in self.sharers.get(block, ()):  # at most one M/E holder
                 oc = self.caches.get(other)
-                if oc is not None and oc.state(block) == MODIFIED:
+                if oc is None or other == proc:
+                    continue
+                ostate = oc.state(block)
+                if ostate == MODIFIED:
                     oc.set_state(block, SHARED)
                     self.writebacks += 1
-            new_state = SHARED
+                    others_valid = True
+                elif ostate == EXCLUSIVE:
+                    oc.set_state(block, SHARED)
+                    others_valid = True
+                elif ostate != INVALID:
+                    others_valid = True
+            # MESI: a read miss with no other valid holder installs E
+            new_state = EXCLUSIVE if self.mesi and not others_valid else SHARED
         victim = cache.insert(block, new_state)
         self.sharers.setdefault(block, set()).add(proc)
         if victim is not None:

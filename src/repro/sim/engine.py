@@ -42,6 +42,7 @@ kernel, chunking) on top of this.
 
 from __future__ import annotations
 
+import logging
 import os
 import time as _time
 from typing import Iterable, Iterator
@@ -61,6 +62,8 @@ from repro.sim.kernel import (
     kernel_mode,
 )
 from repro.sim.events import EventChunker, EventStream, build_events
+
+log = logging.getLogger("repro.sim.engine")
 
 #: Environment knob naming the simulation engine to use.
 ENGINE_ENV = "REPRO_SIM_ENGINE"
@@ -119,18 +122,36 @@ def resolve_kernel(
     word_invalidate: bool = False,
     events: EventStream | None = None,
     kernel: str | None = None,
+    protocol: str = "msi",
 ) -> str:
     """Pick the protocol core for one simulation.
 
     ``word_invalidate`` always runs on the Python core (the per-word
     state machine is a cold comparison path, out of the C kernel's
-    scope).  With the full event stream in hand the kernel envelope is
-    pre-checked; an ineligible stream falls back to Python in ``auto``
-    mode and raises under ``REPRO_SIM_KERNEL=native``.
+    scope).  The C kernel implements the paper's MSI protocol only, so
+    a non-MSI ``protocol`` likewise needs the Python core: ``auto``
+    mode logs the fallback reason, while ``REPRO_SIM_KERNEL=native``
+    raises (silently simulating the wrong protocol would poison every
+    downstream miss count).  With the full event stream in hand the
+    kernel envelope is pre-checked; an ineligible stream falls back to
+    Python in ``auto`` mode and raises under ``native``.
     """
     if word_invalidate:
         return PYTHON
     resolved = kernel or active_kernel()
+    if resolved == NATIVE and protocol != "msi":
+        if kernel == NATIVE or kernel_mode() == NATIVE:
+            raise SimulationError(
+                f"the native kernel implements the MSI protocol only "
+                f"(machine protocol is {protocol!r}) and "
+                f"REPRO_SIM_KERNEL=native forbids the Python fallback"
+            )
+        log.info(
+            "native kernel skipped: protocol %r needs the Python core "
+            "(the C kernel is MSI-only)", protocol,
+        )
+        perf.add("kernel.protocol_fallback")
+        return PYTHON
     if resolved == NATIVE and events is not None and not chunk_fits(
         events.proc, events.block
     ):
@@ -190,7 +211,8 @@ def simulate_events(
         )
     t0 = _time.perf_counter()
     resolved = resolve_kernel(
-        word_invalidate=word_invalidate, events=events, kernel=kernel
+        word_invalidate=word_invalidate, events=events, kernel=kernel,
+        protocol=config.protocol,
     )
     with perf.timer(f"sim.kernel.{resolved}"):
         core = _make_core(resolved, nprocs, config, word_invalidate)
@@ -223,7 +245,10 @@ def simulate_event_chunks(
     raises rather than silently corrupting results.
     """
     t0 = _time.perf_counter()
-    resolved = resolve_kernel(word_invalidate=word_invalidate, kernel=kernel)
+    resolved = resolve_kernel(
+        word_invalidate=word_invalidate, kernel=kernel,
+        protocol=config.protocol,
+    )
     n_chunks = 0
     n_events = 0
     with obs.span(

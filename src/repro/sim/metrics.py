@@ -147,19 +147,35 @@ def simulate_run(
     run: RunResult,
     block_size: int,
     *,
-    cache_size: int = 32 * 1024,
-    assoc: int = 4,
+    cache_size: int | None = None,
+    assoc: int | None = None,
+    machine=None,
     word_invalidate: bool = False,
     engine: str | None = None,
 ) -> SimResult:
     """Simulate a run's trace at one block size, counting the run's
     private references into the miss-rate denominator.
 
+    The cache shape and coherence protocol come from the active
+    :class:`~repro.machine.models.MachineModel` (``machine`` — a model,
+    a registry name, or None to resolve ``REPRO_MACHINE``; the default
+    ksr2 reproduces the original hard-coded 32 KB / 4-way / MSI
+    geometry exactly).  Explicit ``cache_size``/``assoc`` override the
+    machine's shape.
+
     Routed through the fast-path engine and the per-trace result memo
     (:mod:`repro.sim.simcache`); set ``engine="reference"`` — or export
     ``REPRO_SIM_ENGINE=reference`` — to force the original
     one-reference-at-a-time simulator."""
-    config = CacheConfig(size=cache_size, block_size=block_size, assoc=assoc)
+    from repro.machine.models import resolve_machine
+
+    model = resolve_machine(machine)
+    config = CacheConfig(
+        size=cache_size if cache_size is not None else model.cache_size,
+        block_size=block_size,
+        assoc=assoc if assoc is not None else model.assoc,
+        protocol=model.protocol,
+    )
     extra = sum(run.private_refs.values())
     return cached_simulate(
         run.trace, run.nprocs, config, extra_refs=extra,
@@ -190,12 +206,13 @@ def sweep_block_sizes(
     run: RunResult,
     block_sizes: list[int],
     *,
-    cache_size: int = 32 * 1024,
-    assoc: int = 4,
+    cache_size: int | None = None,
+    assoc: int | None = None,
+    machine=None,
 ) -> BlockSizeSweep:
     sweep = BlockSizeSweep(block_sizes=list(block_sizes))
     for bs in block_sizes:
         sweep.results[bs] = simulate_run(
-            run, bs, cache_size=cache_size, assoc=assoc
+            run, bs, cache_size=cache_size, assoc=assoc, machine=machine
         )
     return sweep

@@ -51,8 +51,9 @@ from repro.sim.events import EventStream, build_events
 MAX_RESULTS = 4096
 MAX_EVENT_STREAMS = 256
 
-#: Persistent-memo record schema (bump on incompatible change).
-RECORD_SCHEMA = 1
+#: Persistent-memo record schema (bump on incompatible change; 2: the
+#: coherence protocol joins the config record and the memo key).
+RECORD_SCHEMA = 2
 
 ENV_MEMO = "REPRO_SIM_MEMO"
 
@@ -83,6 +84,7 @@ def result_to_record(res: SimResult) -> dict:
             "size": res.config.size,
             "block_size": res.config.block_size,
             "assoc": res.config.assoc,
+            "protocol": res.config.protocol,
         },
         "nprocs": res.nprocs,
         "refs": res.refs,
@@ -122,6 +124,7 @@ def result_from_record(rec: dict) -> SimResult:
         config=CacheConfig(
             size=int(cfg["size"]), block_size=int(cfg["block_size"]),
             assoc=int(cfg["assoc"]),
+            protocol=str(cfg.get("protocol", "msi")),
         ),
         nprocs=nprocs,
         refs=int(rec["refs"]),
@@ -226,11 +229,12 @@ def cached_simulate(
         resolved_kernel = "python"
     else:
         resolved_kernel = resolve_kernel(
-            word_invalidate=word_invalidate, kernel=kernel
+            word_invalidate=word_invalidate, kernel=kernel,
+            protocol=config.protocol,
         )
     key = (
         trace.fingerprint, nprocs, config.size, config.block_size,
-        config.assoc, word_invalidate, extra_refs, engine,
+        config.assoc, config.protocol, word_invalidate, extra_refs, engine,
         resolved_kernel, chunk_refs or 0,
     )
     got = _results.get(key)

@@ -1,0 +1,321 @@
+"""Dynamic mitigation subsystem tests: the addressing overlay, the
+phase-mark plumbing, the engine's honesty property (zero repairs ==
+plain simulation, bit for bit), actual FS reduction with a verified
+equivalence plan, and the `fs_pair_by_block` conservation law under
+both schedulers (the signal the engine folds per phase)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from conftest import COUNTER_SRC, HEAP_SRC
+from repro.dynamic import (
+    DYN_BASE,
+    AddressOverlay,
+    mitigate,
+)
+from repro.errors import ReproError
+from repro.lang import compile_source
+from repro.layout import DataLayout
+from repro.runtime import run_program, trace_cache
+from repro.runtime.stealing import RR, SchedConfig
+from repro.sim import simulate_run
+from repro.verify.oracle import diff_states, observe
+
+NPROCS = 4
+
+#: Four processors hammering adjacent elements of one hot array across
+#: six barrier-delimited rounds: a repair at the first boundary pays
+#: off for five more phases.
+HOT_SRC = """
+int hot[8];
+int out[64];
+
+void worker(int pid)
+{
+    int r;
+    int i;
+    for (r = 0; r < 6; r++) {
+        for (i = 0; i < 30; i++) {
+            hot[pid] = hot[pid] + 1;
+        }
+        barrier();
+    }
+    out[pid] = hot[pid];
+}
+
+int main()
+{
+    int p;
+    for (p = 0; p < nprocs(); p++) {
+        create(worker, p);
+    }
+    wait_for_end();
+    print(hot[0]);
+    return 0;
+}
+"""
+
+NOBAR_SRC = """
+int flags[16];
+
+void worker(int pid)
+{
+    flags[pid] = pid;
+}
+
+int main()
+{
+    int p;
+    for (p = 0; p < nprocs(); p++) {
+        create(worker, p);
+    }
+    wait_for_end();
+    print(flags[0]);
+    return 0;
+}
+"""
+
+
+def interpret(source, sched=RR, nprocs=NPROCS):
+    checked = compile_source(source)
+    layout = DataLayout(checked, None, nprocs=nprocs)
+    run = run_program(checked, layout, nprocs, sched=sched)
+    return checked, layout, run
+
+
+# ---------------------------------------------------------------------------
+# The addressing overlay
+# ---------------------------------------------------------------------------
+
+
+class TestOverlay:
+    def test_empty_overlay_is_identity(self):
+        ov = AddressOverlay(block_size=64)
+        addrs = np.array([0, 100, DYN_BASE + 5], dtype=np.int64)
+        assert ov.translate(addrs) is addrs
+
+    def test_pad_whole_preserves_offsets(self):
+        ov = AddressOverlay(block_size=64)
+        r = ov.pad_whole("x", lo=0x100, size=24)
+        base = int(r.new_elem_base[0])
+        assert base >= DYN_BASE and base % 64 == 0
+        addrs = np.array([0x0FF, 0x100, 0x10B, 0x117, 0x118], dtype=np.int64)
+        out = ov.translate(addrs)
+        # inside [lo, lo+size) moves rigidly; outside passes through
+        assert out.tolist() == [0x0FF, base, base + 0xB, base + 0x17, 0x118]
+
+    def test_pad_elements_one_block_each(self):
+        ov = AddressOverlay(block_size=64)
+        lo, nelems, esize = 1000, 4, 8
+        ov.pad_elements("x", lo=lo, nelems=nelems, elem_size=esize)
+        addrs = np.array(
+            [lo + i * esize + 3 for i in range(nelems)], dtype=np.int64
+        )
+        out = ov.translate(addrs)
+        blocks = set((out // 64).tolist())
+        assert len(blocks) == nelems  # every element on its own line
+        assert all((a - 3) % 64 == 0 for a in out.tolist())
+
+    def test_group_by_owner_packs_and_separates(self):
+        ov = AddressOverlay(block_size=64)
+        lo, esize = 2000, 4
+        owners = [0, 1, 0, 1, None, 0]
+        ov.group_by_owner(
+            "g", lo=lo, nelems=6, elem_size=esize, owners=owners, nprocs=2
+        )
+        addrs = np.array([lo + i * esize for i in range(6)], dtype=np.int64)
+        out = ov.translate(addrs).tolist()
+        blk = [a // 64 for a in out]
+        # same owner -> same segment (one block here); different owners
+        # (and the ownerless tail) never share a block
+        assert blk[0] == blk[2] == blk[5]
+        assert blk[1] == blk[3]
+        assert len({blk[0], blk[1], blk[4]}) == 3
+        # owner-0 elements are packed contiguously in index order
+        assert out[2] == out[0] + esize and out[5] == out[2] + esize
+
+    def test_double_repair_rejected(self):
+        ov = AddressOverlay(block_size=64)
+        ov.pad_whole("x", lo=0, size=16)
+        with pytest.raises(ReproError):
+            ov.pad_elements("x", lo=0, nelems=4, elem_size=4)
+
+    def test_overlapping_ranges_rejected(self):
+        ov = AddressOverlay(block_size=64)
+        ov.pad_whole("a", lo=100, size=50)
+        with pytest.raises(ReproError):
+            ov.pad_whole("b", lo=120, size=16)
+        # adjacent (non-overlapping) is fine
+        ov.pad_whole("c", lo=150, size=16)
+
+    def test_guard_block_between_placements(self):
+        ov = AddressOverlay(block_size=64)
+        r1 = ov.pad_whole("a", lo=0x100, size=10)
+        r2 = ov.pad_whole("b", lo=0x200, size=10)
+        # size rounds up to one block, plus one guard block
+        assert int(r2.new_elem_base[0]) >= int(r1.new_elem_base[0]) + 128
+
+    def test_bytes_moved(self):
+        ov = AddressOverlay(block_size=64)
+        ov.pad_whole("a", lo=0, size=24)
+        ov.pad_elements("b", lo=1000, nelems=4, elem_size=8)
+        assert ov.bytes_moved == 24 + 32
+        assert ov.repaired("a") and ov.repaired("b")
+        assert not ov.repaired("c")
+
+
+# ---------------------------------------------------------------------------
+# Phase marks: the boundaries the engine acts on
+# ---------------------------------------------------------------------------
+
+
+class TestPhaseMarks:
+    def test_counter_has_one_boundary(self):
+        _, _, run = interpret(COUNTER_SRC)
+        assert len(run.phase_marks) == 1
+        assert 0 < run.phase_marks[0] < len(run.trace)
+
+    def test_heap_rounds_mark_every_barrier(self):
+        _, _, run = interpret(HEAP_SRC)
+        marks = run.phase_marks
+        assert len(marks) == 6  # one release per round
+        assert marks == sorted(marks)
+        assert len(set(marks)) == len(marks)
+        assert all(0 < m <= len(run.trace) for m in marks)
+
+    def test_barrier_free_run_has_no_marks(self):
+        _, _, run = interpret(NOBAR_SRC)
+        assert run.phase_marks == []
+
+    def test_trace_cache_round_trips_marks(self, monkeypatch, tmp_path):
+        monkeypatch.setenv("REPRO_TRACE_CACHE", str(tmp_path))
+        monkeypatch.setenv("REPRO_TRACE_CACHE_MIN", "0")
+        _, _, run = interpret(HEAP_SRC)
+        key = trace_cache.run_key(
+            HEAP_SRC, "natural", NPROCS, 128, 4, 200_000_000
+        )
+        assert trace_cache.store_run(key, run)
+        loaded = trace_cache.load_run(key)
+        assert loaded is not None
+        assert loaded.phase_marks == run.phase_marks
+
+
+# ---------------------------------------------------------------------------
+# The mitigation engine
+# ---------------------------------------------------------------------------
+
+
+class TestEngine:
+    @pytest.fixture(scope="class")
+    def hot(self):
+        return interpret(HOT_SRC)
+
+    def test_zero_repairs_bit_identical_to_plain_sim(self, hot):
+        checked, layout, run = hot
+        plain = simulate_run(run, 64)
+        dyn = mitigate(
+            checked, layout, run,
+            nprocs=NPROCS, block_size=64, max_repairs=0,
+        )
+        assert dyn.repairs == [] and dyn.overlay.relocations == []
+        got, want = dyn.result, plain
+        assert got.misses.as_tuple() == want.misses.as_tuple()
+        assert got.invalidations == want.invalidations
+        assert got.writebacks == want.writebacks
+        assert got.upgrades == want.upgrades
+        assert got.refs == want.refs
+        assert got.extra_refs == want.extra_refs
+        assert got.fs_by_block == want.fs_by_block
+        assert got.fs_pair_by_block == want.fs_pair_by_block
+
+    def test_mitigation_reduces_false_sharing(self, hot):
+        checked, layout, run = hot
+        plain = simulate_run(run, 64)
+        dyn = mitigate(checked, layout, run, nprocs=NPROCS, block_size=64)
+        assert dyn.repairs, "hot array never repaired"
+        assert dyn.repairs[0].structure == "hot"
+        assert dyn.repairs[0].phase == 0  # caught at the first boundary
+        assert (
+            dyn.result.misses.false_sharing < plain.misses.false_sharing
+        )
+
+    def test_counters_shape(self, hot):
+        checked, layout, run = hot
+        dyn = mitigate(checked, layout, run, nprocs=NPROCS, block_size=64)
+        c = dyn.counters()
+        assert set(c) == {
+            "phases", "repairs", "repaired", "bytes_moved", "fs_at_repair",
+        }
+        assert c["phases"] == len(run.phase_marks) + 1
+        assert c["repairs"] == len(dyn.repairs) >= 1
+        assert "hot" in c["repaired"]
+        assert c["bytes_moved"] >= 8 * 4  # the hot array's payload
+        assert c["fs_at_repair"] > 0
+
+    def test_plan_passes_the_oracle(self, hot):
+        checked, layout, run = hot
+        dyn = mitigate(checked, layout, run, nprocs=NPROCS, block_size=64)
+        assert any(
+            d.reason.startswith("dynamic:") for d in dyn.plan.decisions
+        )
+        base = observe(checked, None, NPROCS, block_size=64)[0]
+        other = observe(checked, dyn.plan, NPROCS, block_size=64)[0]
+        assert diff_states(base, other) == []
+
+    def test_threshold_suppresses_repairs(self, hot):
+        checked, layout, run = hot
+        dyn = mitigate(
+            checked, layout, run,
+            nprocs=NPROCS, block_size=64, min_phase_fs=10**9,
+        )
+        assert dyn.repairs == []
+        # still a faithful simulation of the unmitigated run
+        assert (
+            dyn.result.misses.as_tuple()
+            == simulate_run(run, 64).misses.as_tuple()
+        )
+
+    def test_last_phase_never_repaired(self):
+        # one barrier -> two phases; a repair at the final boundary would
+        # mitigate nothing, so the counter program may only repair at
+        # phase 0 (and its phase-1 traffic is too cold to trigger there)
+        checked, layout, run = interpret(COUNTER_SRC)
+        dyn = mitigate(checked, layout, run, nprocs=NPROCS, block_size=64)
+        assert all(r.phase < len(run.phase_marks) for r in dyn.repairs)
+
+
+# ---------------------------------------------------------------------------
+# fs_pair_by_block conservation (the engine's signal) across schedulers
+# ---------------------------------------------------------------------------
+
+
+SCHEDS = [RR, SchedConfig("steal", seed=11)]
+
+
+@pytest.mark.parametrize("sched", SCHEDS, ids=lambda s: s.kind)
+def test_fs_pairs_conserved(sched):
+    _, _, run = interpret(COUNTER_SRC, sched)
+    res = simulate_run(run, 64)
+    assert res.misses.false_sharing > 0
+    # per block: the pair breakdown sums exactly to the block's FS count
+    for b, pairs in res.fs_pair_by_block.items():
+        assert sum(pairs.values()) == res.fs_by_block[b]
+        for (writer, missing), n in pairs.items():
+            assert writer != missing and n > 0
+            assert -1 <= writer < NPROCS and -1 <= missing < NPROCS
+    # and the grand total is the headline FS number
+    total = sum(sum(p.values()) for p in res.fs_pair_by_block.values())
+    assert total == res.misses.false_sharing
+    assert set(res.fs_pair_by_block) == {
+        b for b, n in res.fs_by_block.items() if n
+    }
+
+
+def test_fs_pairs_deterministic_under_steal():
+    runs = [interpret(COUNTER_SRC, SchedConfig("steal", seed=11))[2]
+            for _ in range(2)]
+    a, b = (simulate_run(r, 64) for r in runs)
+    assert a.fs_pair_by_block == b.fs_pair_by_block
+    assert a.misses.as_tuple() == b.misses.as_tuple()

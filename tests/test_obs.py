@@ -185,6 +185,22 @@ class TestChromeTrace:
 # ---------------------------------------------------------------------------
 
 
+def _sim_result(protocol="mesi", block_size=64):
+    """A tiny real SimResult (two processors, two references)."""
+    from repro.sim.cache import CacheConfig
+    from repro.sim.coherence import CoherenceSim
+
+    sim = CoherenceSim(
+        2,
+        CacheConfig(
+            size=1024, block_size=block_size, assoc=2, protocol=protocol
+        ),
+    )
+    sim.access(0, 0, 4, True)
+    sim.access(1, 4, 4, False)
+    return sim.result()
+
+
 def _record(workload="Pverify", **kw):
     defaults = dict(
         kind="test",
@@ -259,7 +275,7 @@ class TestManifest:
             kernel="native", chunk_size=4096,
             stream={"chunks_produced": 3, "stall_seconds": 0.01},
         )
-        assert rec["schema"] == 2
+        assert rec["schema"] == manifest.SCHEMA
         assert rec["kernel"] == "native"
         assert rec["chunk_size"] == 4096
         assert rec["stream"]["chunks_produced"] == 3
@@ -275,19 +291,62 @@ class TestManifest:
             "misses": {"false": 9}, "custom": "kept",
         }
         up = manifest.upgrade_record(old)
-        assert up["schema"] == 2
+        assert up["schema"] == manifest.SCHEMA
         assert up["kernel"] is None
         assert up["chunk_size"] is None
         assert up["stream"] == {} and up["fs_by_structure"] == {}
+        assert up["dynamic"] == {}            # schema-3 default
         assert up["misses"]["false"] == 9     # existing data untouched
         assert up["custom"] == "kept"         # unknown fields preserved
         assert old["schema"] == 1             # input not mutated
+
+    def test_upgrade_record_backfills_schema2_machine(self):
+        # A schema-2 record's machine dict is pure geometry; the upgrade
+        # stamps the identity every schema-2 writer implied: the
+        # hard-coded KSR2 MSI machine, line size == block size.
+        old = {
+            "schema": 2, "kind": "profile", "workload": "Water",
+            "machine": {"block_size": 64, "cache_size": 32768, "assoc": 4},
+        }
+        up = manifest.upgrade_record(old)
+        assert up["schema"] == manifest.SCHEMA
+        assert up["machine"]["name"] == "ksr2"
+        assert up["machine"]["protocol"] == "msi"
+        assert up["machine"]["line_size"] == 64
+        assert up["machine"]["block_size"] == 64   # geometry untouched
+        assert up["dynamic"] == {}
+        assert "protocol" not in old["machine"]    # input not mutated
+
+    def test_upgrade_record_keeps_schema3_machine(self):
+        rec = _record()
+        rec["machine"] = {
+            "name": "modern64", "protocol": "mesi", "line_size": 64,
+        }
+        up = manifest.upgrade_record(rec)
+        assert up["machine"]["name"] == "modern64"
+        assert up["machine"]["protocol"] == "mesi"
+
+    def test_sim_record_machine_identity(self):
+        sim = _sim_result()
+        rec = manifest.sim_record(
+            kind="dynamic", workload="Maxflow/D",
+            source="int main() { return 0; }", plan_desc="natural",
+            nprocs=4, block_size=64, sim=sim,
+            dynamic={"repairs": 2, "phases": 5},
+            machine_name="modern64",
+        )
+        assert rec["schema"] == manifest.SCHEMA
+        assert rec["machine"]["name"] == "modern64"
+        assert rec["machine"]["protocol"] == sim.config.protocol
+        assert rec["machine"]["line_size"] == sim.config.block_size
+        assert rec["dynamic"] == {"repairs": 2, "phases": 5}
+        json.dumps(rec)
 
     def test_read_all_upgrades_by_default(self, tmp_path):
         log = tmp_path / "runs.jsonl"
         log.write_text(json.dumps({"schema": 1, "workload": "A"}) + "\n")
         (up,) = manifest.read_all(log)
-        assert up["schema"] == 2 and up["kernel"] is None
+        assert up["schema"] == manifest.SCHEMA and up["kernel"] is None
         (raw,) = manifest.read_all(log, upgrade=False)
         assert raw["schema"] == 1 and "kernel" not in raw
 

@@ -30,7 +30,7 @@ from repro.obs.store import IngestReport, RunStore, record_id
 def make_record(i: int, *, workload="Maxflow/N", block_size=128, fs=400,
                 ts=None, **extra) -> dict:
     rec = {
-        "schema": 2,
+        "schema": 3,
         "ts": ts or f"2026-08-{1 + i % 27:02d}T{i % 24:02d}:00:{i % 60:02d}+00:00",
         "kind": "experiment",
         "workload": workload,
@@ -38,10 +38,14 @@ def make_record(i: int, *, workload="Maxflow/N", block_size=128, fs=400,
         "plan": "natural",
         "nprocs": 12,
         "block_size": block_size,
-        "machine": {"cache_size": 32768, "assoc": 4, "block_size": block_size},
+        "machine": {
+            "name": "ksr2", "protocol": "msi", "line_size": block_size,
+            "cache_size": 32768, "assoc": 4, "block_size": block_size,
+        },
         "kernel": "python",
         "chunk_size": None,
         "stream": {},
+        "dynamic": {},
         "refs": 1000 + i,
         "trace_len": 1000 + i,
         "misses": {"cold": 10, "replace": 5, "true": 7, "false": fs},
@@ -125,10 +129,26 @@ class TestIngest:
         }
         store.ingest(write_log(tmp_path / "old.jsonl", [old]))
         (rec,) = store.records()
-        assert rec["schema"] == 2
+        assert rec["schema"] == manifest.SCHEMA
         assert rec["kernel"] is None
         assert rec["stream"] == {} and rec["chunk_size"] is None
+        assert rec["dynamic"] == {}
         assert rec["misses"]["false"] == 42
+
+    def test_schema2_records_upgraded_on_ingest(self, store, tmp_path):
+        """A schema-2 machine dict (geometry only) gains the implied
+        KSR2/MSI identity on ingest."""
+        old = make_record(0)
+        old["schema"] = 2
+        old["machine"] = {"cache_size": 32768, "assoc": 4, "block_size": 64}
+        del old["dynamic"]
+        store.ingest(write_log(tmp_path / "old2.jsonl", [old]))
+        (rec,) = store.records()
+        assert rec["schema"] == manifest.SCHEMA
+        assert rec["machine"]["name"] == "ksr2"
+        assert rec["machine"]["protocol"] == "msi"
+        assert rec["machine"]["line_size"] == 64
+        assert rec["dynamic"] == {}
 
     def test_ingest_report_describe(self):
         rep = IngestReport(scanned=10, ingested=7, duplicates=3, corrupt=2)
